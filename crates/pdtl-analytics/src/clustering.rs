@@ -1,0 +1,156 @@
+//! Clustering coefficients and the transitivity ratio.
+//!
+//! Both metrics are pure functions of per-vertex triangle counts and
+//! degrees (Watts–Strogatz \[24\]; Opsahl–Panzarasa \[18\]):
+//!
+//! * local coefficient: `C(v) = 2·T(v) / (d(v)·(d(v)−1))`;
+//! * global (average) clustering: mean of `C(v)` over `d(v) ≥ 2`;
+//! * transitivity: `3·T / Σ_v C(d(v), 2)` — closed triplets over all
+//!   triplets.
+//!
+//! The per-vertex counts come from any triangle listing — these
+//! functions consume the `(u, v, w)` triples PDTL emits.
+
+use pdtl_graph::Graph;
+
+/// Summary of a clustering analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusteringReport {
+    /// `C(v)` per vertex (0 for degree < 2).
+    pub local: Vec<f64>,
+    /// Average clustering coefficient over vertices with degree >= 2.
+    pub global: f64,
+    /// Transitivity ratio `3T / #open-or-closed-triplets`.
+    pub transitivity: f64,
+    /// Total triangles.
+    pub triangles: u64,
+}
+
+/// Accumulate per-vertex triangle counts from listed triples.
+pub fn per_vertex_counts(n: u32, triangles: &[(u32, u32, u32)]) -> Vec<u64> {
+    let mut counts = vec![0u64; n as usize];
+    for &(u, v, w) in triangles {
+        counts[u as usize] += 1;
+        counts[v as usize] += 1;
+        counts[w as usize] += 1;
+    }
+    counts
+}
+
+/// Local clustering coefficients from a triangle listing.
+pub fn clustering_coefficients(g: &Graph, triangles: &[(u32, u32, u32)]) -> Vec<f64> {
+    let counts = per_vertex_counts(g.num_vertices(), triangles);
+    (0..g.num_vertices())
+        .map(|v| {
+            let d = g.degree(v) as u64;
+            if d < 2 {
+                0.0
+            } else {
+                2.0 * counts[v as usize] as f64 / (d * (d - 1)) as f64
+            }
+        })
+        .collect()
+}
+
+/// Average clustering coefficient over vertices of degree >= 2.
+pub fn global_clustering(g: &Graph, triangles: &[(u32, u32, u32)]) -> f64 {
+    let local = clustering_coefficients(g, triangles);
+    let eligible: Vec<f64> = (0..g.num_vertices())
+        .filter(|&v| g.degree(v) >= 2)
+        .map(|v| local[v as usize])
+        .collect();
+    if eligible.is_empty() {
+        0.0
+    } else {
+        eligible.iter().sum::<f64>() / eligible.len() as f64
+    }
+}
+
+/// Transitivity ratio: `3T / Σ_v C(d(v), 2)`.
+pub fn transitivity(g: &Graph, triangle_count: u64) -> f64 {
+    let triplets: u64 = (0..g.num_vertices())
+        .map(|v| {
+            let d = g.degree(v) as u64;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum();
+    if triplets == 0 {
+        0.0
+    } else {
+        3.0 * triangle_count as f64 / triplets as f64
+    }
+}
+
+/// Run the full clustering analysis from a listing.
+pub fn analyze(g: &Graph, triangles: &[(u32, u32, u32)]) -> ClusteringReport {
+    ClusteringReport {
+        local: clustering_coefficients(g, triangles),
+        global: global_clustering(g, triangles),
+        transitivity: transitivity(g, triangles.len() as u64),
+        triangles: triangles.len() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdtl_graph::gen::classic::{complete, cycle, star, wheel};
+    use pdtl_graph::verify::triangle_list;
+
+    #[test]
+    fn complete_graph_is_fully_clustered() {
+        let g = complete(6).unwrap();
+        let r = analyze(&g, &triangle_list(&g));
+        assert!(r.local.iter().all(|&c| (c - 1.0).abs() < 1e-12));
+        assert!((r.global - 1.0).abs() < 1e-12);
+        assert!((r.transitivity - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangle_free_graphs_are_zero() {
+        for g in [cycle(8).unwrap(), star(9).unwrap()] {
+            let r = analyze(&g, &triangle_list(&g));
+            assert!(r.local.iter().all(|&c| c == 0.0));
+            assert_eq!(r.global, 0.0);
+            assert_eq!(r.transitivity, 0.0);
+        }
+    }
+
+    #[test]
+    fn wheel_hub_less_clustered_than_rim() {
+        // Hub sees n-1 triangles over C(n-1, 2) pairs; each rim vertex
+        // sees 2 triangles over C(3,2) = 3 pairs.
+        let g = wheel(8).unwrap();
+        let r = analyze(&g, &triangle_list(&g));
+        let hub = r.local[0];
+        let rim = r.local[1];
+        assert!((rim - 2.0 / 3.0).abs() < 1e-12, "rim {rim}");
+        assert!((hub - 7.0 / 21.0).abs() < 1e-12, "hub {hub}");
+        assert!(rim > hub);
+    }
+
+    #[test]
+    fn transitivity_matches_closed_form_on_wheel() {
+        let g = wheel(8).unwrap();
+        let t = triangle_list(&g).len() as u64;
+        // 7 rim vertices with d=3 (3 triplets each) + hub d=7 (21)
+        let triplets = 7 * 3 + 21;
+        assert!((transitivity(&g, t) - 3.0 * t as f64 / triplets as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_below_two_excluded_from_global() {
+        // path of 2 + triangle: only triangle vertices count.
+        let g = Graph::from_edges(5, &[(0, 1), (2, 3), (3, 4), (4, 2)]).unwrap();
+        let r = analyze(&g, &triangle_list(&g));
+        assert!((r.global - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_vertex_counts_sum() {
+        let g = complete(5).unwrap();
+        let list = triangle_list(&g);
+        let counts = per_vertex_counts(5, &list);
+        assert_eq!(counts.iter().sum::<u64>(), 3 * list.len() as u64);
+    }
+}

@@ -1,0 +1,187 @@
+//! Dynamic (incremental) triangle counting — the paper's other
+//! future-work direction (§VI).
+//!
+//! Maintains the exact triangle count of an evolving simple graph under
+//! edge insertions and deletions: inserting `{u, v}` adds
+//! `|N(u) ∩ N(v)|` triangles, deleting it removes the same. Neighbour
+//! sets are kept as sorted vectors (the workspace's array-first idiom),
+//! so each update costs `O(d(u) + d(v))` — optimal for merge-based
+//! intersection.
+
+use pdtl_core::intersect::intersect_count;
+use pdtl_graph::Graph;
+
+/// An exact triangle counter over a mutable simple graph.
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalTriangles {
+    adj: Vec<Vec<u32>>,
+    triangles: u64,
+    edges: u64,
+}
+
+impl IncrementalTriangles {
+    /// An empty graph on `n` vertices.
+    pub fn new(n: u32) -> Self {
+        Self {
+            adj: vec![Vec::new(); n as usize],
+            triangles: 0,
+            edges: 0,
+        }
+    }
+
+    /// Start from an existing graph (count seeded from an exact oracle
+    /// pass).
+    pub fn from_graph(g: &Graph) -> Self {
+        let mut s = Self::new(g.num_vertices());
+        for (u, v) in g.edges() {
+            s.insert(u, v);
+        }
+        s
+    }
+
+    /// Current exact triangle count.
+    pub fn triangles(&self) -> u64 {
+        self.triangles
+    }
+
+    /// Current edge count.
+    pub fn num_edges(&self) -> u64 {
+        self.edges
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> u32 {
+        self.adj.len() as u32
+    }
+
+    /// True if `{u, v}` is currently an edge.
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.adj
+            .get(u as usize)
+            .is_some_and(|l| l.binary_search(&v).is_ok())
+    }
+
+    /// Insert `{u, v}`; returns the number of new triangles closed, or
+    /// `None` if the edge already exists / is a self-loop / is out of
+    /// range.
+    pub fn insert(&mut self, u: u32, v: u32) -> Option<u64> {
+        let n = self.num_vertices();
+        if u == v || u >= n || v >= n || self.has_edge(u, v) {
+            return None;
+        }
+        let closed = intersect_count(&self.adj[u as usize], &self.adj[v as usize]);
+        let pos_u = self.adj[u as usize].binary_search(&v).unwrap_err();
+        self.adj[u as usize].insert(pos_u, v);
+        let pos_v = self.adj[v as usize].binary_search(&u).unwrap_err();
+        self.adj[v as usize].insert(pos_v, u);
+        self.triangles += closed;
+        self.edges += 1;
+        Some(closed)
+    }
+
+    /// Delete `{u, v}`; returns the number of triangles broken, or
+    /// `None` if the edge does not exist.
+    pub fn delete(&mut self, u: u32, v: u32) -> Option<u64> {
+        if !self.has_edge(u, v) {
+            return None;
+        }
+        let pos_u = self.adj[u as usize].binary_search(&v).unwrap();
+        self.adj[u as usize].remove(pos_u);
+        let pos_v = self.adj[v as usize].binary_search(&u).unwrap();
+        self.adj[v as usize].remove(pos_v);
+        let broken = intersect_count(&self.adj[u as usize], &self.adj[v as usize]);
+        self.triangles -= broken;
+        self.edges -= 1;
+        Some(broken)
+    }
+
+    /// Materialise the current graph (for verification).
+    pub fn to_graph(&self) -> Graph {
+        let edges: Vec<(u32, u32)> = self
+            .adj
+            .iter()
+            .enumerate()
+            .flat_map(|(u, l)| {
+                l.iter()
+                    .filter(move |&&v| (u as u32) < v)
+                    .map(move |&v| (u as u32, v))
+            })
+            .collect();
+        Graph::from_edges(self.num_vertices(), &edges).expect("internal adjacency is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdtl_graph::gen::classic::complete;
+    use pdtl_graph::gen::rmat::rmat;
+    use pdtl_graph::gen::rng::SplitMix64;
+    use pdtl_graph::verify::triangle_count;
+
+    #[test]
+    fn builds_complete_graph_incrementally() {
+        let mut c = IncrementalTriangles::new(6);
+        for u in 0..6 {
+            for v in (u + 1)..6 {
+                c.insert(u, v);
+            }
+        }
+        assert_eq!(c.triangles(), 20); // C(6,3)
+        assert_eq!(c.to_graph(), complete(6).unwrap());
+    }
+
+    #[test]
+    fn insert_returns_closed_count() {
+        let mut c = IncrementalTriangles::new(4);
+        assert_eq!(c.insert(0, 1), Some(0));
+        assert_eq!(c.insert(1, 2), Some(0));
+        assert_eq!(c.insert(0, 2), Some(1)); // closes {0,1,2}
+        assert_eq!(c.insert(0, 2), None, "duplicate rejected");
+        assert_eq!(c.insert(3, 3), None, "self-loop rejected");
+        assert_eq!(c.insert(0, 9), None, "out of range rejected");
+    }
+
+    #[test]
+    fn delete_reverses_insert() {
+        let g = rmat(6, 31).unwrap();
+        let mut c = IncrementalTriangles::from_graph(&g);
+        assert_eq!(c.triangles(), triangle_count(&g));
+        let (u, v) = g.edges().next().unwrap();
+        let broken = c.delete(u, v).unwrap();
+        let closed = c.insert(u, v).unwrap();
+        assert_eq!(broken, closed);
+        assert_eq!(c.triangles(), triangle_count(&g));
+        assert_eq!(c.delete(u, v).is_some(), true);
+        assert_eq!(c.delete(u, v), None, "double delete rejected");
+    }
+
+    #[test]
+    fn random_edit_sequence_tracks_oracle() {
+        let n = 40u32;
+        let mut c = IncrementalTriangles::new(n);
+        let mut rng = SplitMix64::new(99);
+        for step in 0..400 {
+            let u = rng.next_bounded(n as u64) as u32;
+            let v = rng.next_bounded(n as u64) as u32;
+            if rng.next_f64() < 0.7 {
+                c.insert(u, v);
+            } else {
+                c.delete(u, v);
+            }
+            if step % 80 == 79 {
+                let g = c.to_graph();
+                assert_eq!(c.triangles(), triangle_count(&g), "step {step}");
+                assert_eq!(c.num_edges(), g.num_edges());
+            }
+        }
+    }
+
+    #[test]
+    fn matches_pdtl_on_final_state() {
+        let g = rmat(7, 32).unwrap();
+        let c = IncrementalTriangles::from_graph(&g);
+        let report = pdtl_core::runner::count_triangles(&c.to_graph()).unwrap();
+        assert_eq!(c.triangles(), report.triangles);
+    }
+}

@@ -1,0 +1,205 @@
+//! k-truss decomposition (Wang & Cheng \[22\]).
+//!
+//! The k-truss of `G` is the maximal subgraph in which every edge is
+//! supported by at least `k − 2` triangles *within the subgraph*. The
+//! decomposition assigns each edge its trussness: the largest `k` for
+//! which it survives. The standard peeling algorithm starts from exact
+//! per-edge triangle supports — precisely what PDTL's listing provides —
+//! then repeatedly removes the weakest edge and decrements its
+//! neighbours' supports.
+
+use std::collections::HashMap;
+
+use pdtl_graph::Graph;
+
+/// Result of a truss decomposition.
+#[derive(Debug, Clone)]
+pub struct TrussDecomposition {
+    /// Trussness per edge, keyed by `(u, v)` with `u < v`.
+    pub trussness: HashMap<(u32, u32), u32>,
+}
+
+impl TrussDecomposition {
+    /// The largest k with a non-empty k-truss.
+    pub fn max_k(&self) -> u32 {
+        self.trussness.values().copied().max().unwrap_or(0)
+    }
+
+    /// Edges of the k-truss: those with trussness >= k.
+    pub fn truss_edges(&self, k: u32) -> Vec<(u32, u32)> {
+        let mut edges: Vec<(u32, u32)> = self
+            .trussness
+            .iter()
+            .filter(|&(_, &t)| t >= k)
+            .map(|(&e, _)| e)
+            .collect();
+        edges.sort_unstable();
+        edges
+    }
+}
+
+fn key(u: u32, v: u32) -> (u32, u32) {
+    if u < v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+/// Full truss decomposition by support peeling.
+///
+/// `triangles` must be the exact triangle listing of `g` (any vertex
+/// order within triples).
+pub fn truss_decomposition(g: &Graph, triangles: &[(u32, u32, u32)]) -> TrussDecomposition {
+    // support = number of triangles on each edge
+    let mut support: HashMap<(u32, u32), u32> = g.edges().map(|(u, v)| ((u, v), 0)).collect();
+    for &(a, b, c) in triangles {
+        *support.get_mut(&key(a, b)).expect("triangle edge in graph") += 1;
+        *support.get_mut(&key(b, c)).expect("triangle edge in graph") += 1;
+        *support.get_mut(&key(a, c)).expect("triangle edge in graph") += 1;
+    }
+
+    // adjacency sets for triangle queries during peeling
+    let mut adj: Vec<std::collections::BTreeSet<u32>> =
+        vec![Default::default(); g.num_vertices() as usize];
+    for (u, v) in g.edges() {
+        adj[u as usize].insert(v);
+        adj[v as usize].insert(u);
+    }
+
+    let mut trussness = HashMap::with_capacity(support.len());
+    let mut remaining: Vec<((u32, u32), u32)> = support.into_iter().collect();
+    let mut k = 2u32;
+    while !remaining.is_empty() {
+        // peel all edges with support <= k - 2
+        while let Some(pos) = remaining.iter().position(|&(_, s)| s <= k - 2) {
+            let ((u, v), _) = remaining.swap_remove(pos);
+            trussness.insert((u, v), k);
+            // removing (u,v) breaks every triangle through it
+            let commons: Vec<u32> = adj[u as usize]
+                .intersection(&adj[v as usize])
+                .copied()
+                .collect();
+            adj[u as usize].remove(&v);
+            adj[v as usize].remove(&u);
+            for w in commons {
+                for e in [key(u, w), key(v, w)] {
+                    if let Some(entry) = remaining.iter_mut().find(|(edge, _)| *edge == e) {
+                        entry.1 = entry.1.saturating_sub(1);
+                    }
+                }
+            }
+        }
+        k += 1;
+    }
+    TrussDecomposition { trussness }
+}
+
+/// The k-truss subgraph of `g` as an edge list.
+pub fn k_truss(g: &Graph, triangles: &[(u32, u32, u32)], k: u32) -> Vec<(u32, u32)> {
+    truss_decomposition(g, triangles).truss_edges(k)
+}
+
+/// The maximum k with a non-empty k-truss.
+pub fn max_truss(g: &Graph, triangles: &[(u32, u32, u32)]) -> u32 {
+    truss_decomposition(g, triangles).max_k()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdtl_graph::gen::classic::{complete, cycle, grid};
+    use pdtl_graph::gen::rmat::rmat;
+    use pdtl_graph::verify::{triangle_count, triangle_list};
+
+    #[test]
+    fn complete_graph_is_a_k_truss() {
+        // Every edge of K_n lies in n-2 triangles: trussness n.
+        let g = complete(6).unwrap();
+        let d = truss_decomposition(&g, &triangle_list(&g));
+        assert_eq!(d.max_k(), 6);
+        assert!(d.trussness.values().all(|&t| t == 6));
+        assert_eq!(d.truss_edges(6).len(), 15);
+        assert!(d.truss_edges(7).is_empty());
+    }
+
+    #[test]
+    fn triangle_free_graphs_peel_at_two() {
+        for g in [cycle(8).unwrap(), grid(4, 4).unwrap()] {
+            let d = truss_decomposition(&g, &triangle_list(&g));
+            assert_eq!(d.max_k(), 2);
+        }
+    }
+
+    #[test]
+    fn triangle_with_tail() {
+        // K_3 plus a pendant edge: the triangle has trussness 3, the
+        // tail 2.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]).unwrap();
+        let d = truss_decomposition(&g, &triangle_list(&g));
+        assert_eq!(d.trussness[&(0, 1)], 3);
+        assert_eq!(d.trussness[&(1, 2)], 3);
+        assert_eq!(d.trussness[&(0, 2)], 3);
+        assert_eq!(d.trussness[&(2, 3)], 2);
+        assert_eq!(d.truss_edges(3), vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn two_cliques_share_a_bridge() {
+        // Two K_4s joined by one edge: K_4 edges have trussness 4.
+        let mut edges = Vec::new();
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                edges.push((u, v));
+                edges.push((u + 4, v + 4));
+            }
+        }
+        edges.push((0, 4));
+        let g = Graph::from_edges(8, &edges).unwrap();
+        let d = truss_decomposition(&g, &triangle_list(&g));
+        assert_eq!(d.max_k(), 4);
+        assert_eq!(d.truss_edges(4).len(), 12);
+        assert_eq!(d.trussness[&(0, 4)], 2);
+    }
+
+    #[test]
+    fn truss_invariant_every_edge_supported() {
+        // Property: in the k-truss subgraph, each edge closes >= k-2
+        // triangles inside the subgraph.
+        let g = rmat(6, 111).unwrap();
+        let list = triangle_list(&g);
+        let d = truss_decomposition(&g, &list);
+        for k in 3..=d.max_k() {
+            let edges = d.truss_edges(k);
+            if edges.is_empty() {
+                continue;
+            }
+            let edge_set: std::collections::HashSet<(u32, u32)> =
+                edges.iter().copied().collect();
+            let mut adj: HashMap<u32, Vec<u32>> = HashMap::new();
+            for &(u, v) in &edges {
+                adj.entry(u).or_default().push(v);
+                adj.entry(v).or_default().push(u);
+            }
+            for &(u, v) in &edges {
+                let nu = &adj[&u];
+                let support = nu
+                    .iter()
+                    .filter(|&&w| edge_set.contains(&key(v, w)))
+                    .count() as u32;
+                assert!(
+                    support >= k - 2,
+                    "edge ({u},{v}) has support {support} < {k}-2"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decomposition_covers_every_edge() {
+        let g = rmat(6, 112).unwrap();
+        let d = truss_decomposition(&g, &triangle_list(&g));
+        assert_eq!(d.trussness.len() as u64, g.num_edges());
+        let _ = triangle_count(&g);
+    }
+}

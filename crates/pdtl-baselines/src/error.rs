@@ -1,0 +1,83 @@
+//! Error type for the baselines.
+
+use std::fmt;
+
+/// Result alias for baseline operations.
+pub type Result<T> = std::result::Result<T, BaselineError>;
+
+/// Errors raised by the baseline systems.
+#[derive(Debug)]
+pub enum BaselineError {
+    /// Underlying I/O substrate failure.
+    Io(pdtl_io::IoError),
+    /// Underlying graph substrate failure.
+    Graph(pdtl_graph::GraphError),
+    /// A memory-constrained system exceeded its budget — the `F`
+    /// (failure) entries of the paper's Table VI.
+    OutOfMemory {
+        /// Which system failed.
+        system: &'static str,
+        /// Bytes the system needed.
+        needed: u64,
+        /// Bytes the budget allowed.
+        budget: u64,
+    },
+    /// An invalid configuration.
+    Config(String),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::Io(e) => write!(f, "io: {e}"),
+            BaselineError::Graph(e) => write!(f, "graph: {e}"),
+            BaselineError::OutOfMemory {
+                system,
+                needed,
+                budget,
+            } => write!(
+                f,
+                "{system}: out of memory (needs {needed} bytes, budget {budget})"
+            ),
+            BaselineError::Config(msg) => write!(f, "configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BaselineError::Io(e) => Some(e),
+            BaselineError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<pdtl_io::IoError> for BaselineError {
+    fn from(e: pdtl_io::IoError) -> Self {
+        BaselineError::Io(e)
+    }
+}
+
+impl From<pdtl_graph::GraphError> for BaselineError {
+    fn from(e: pdtl_graph::GraphError) -> Self {
+        BaselineError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oom_display_names_system() {
+        let e = BaselineError::OutOfMemory {
+            system: "powergraph",
+            needed: 100,
+            budget: 10,
+        };
+        let s = e.to_string();
+        assert!(s.contains("powergraph") && s.contains("100") && s.contains("10"));
+    }
+}

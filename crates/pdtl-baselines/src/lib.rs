@@ -1,0 +1,33 @@
+//! Reimplementations of the systems PDTL is evaluated against.
+//!
+//! The paper compares PDTL with MGT (single-core; our engine at
+//! `N = P = 1`), OPT \[14\], PATRIC \[3\], PowerGraph \[10\] and CTTP \[20\].
+//! None of those systems is available as portable open source, so this
+//! crate rebuilds each one's *resource signature* — the properties the
+//! paper's comparisons actually measure:
+//!
+//! * [`inmem`] — textbook in-memory counters (node-iterator,
+//!   edge-iterator, compact-forward) used as correctness anchors and
+//!   micro-benchmark baselines.
+//! * [`optlike`] — OPT: a disk-based single-machine system with an
+//!   expensive multi-pass "database creation" preprocessing step and a
+//!   fast multicore counting phase that pays random I/O when the graph
+//!   exceeds memory (Table V, Figure 12).
+//! * [`patric`] — PATRIC: MPI-style vertex partitioning where each
+//!   partition plus its one-hop halo *must fit in memory* (§V-E4).
+//! * [`powergraph`] — a miniature GAS (gather/apply/scatter) framework
+//!   with vertex-cut partitioning and per-replica memory accounting;
+//!   the replicated neighbour sets of its triangle-count program are why
+//!   it runs out of memory on large graphs (Table VI's `F` entries).
+//! * [`cttp`] — a round-based MapReduce emulation whose intermediate
+//!   shuffle volume demonstrates why MapReduce counters are
+//!   uncompetitive (§V-E4).
+
+pub mod cttp;
+pub mod error;
+pub mod inmem;
+pub mod optlike;
+pub mod patric;
+pub mod powergraph;
+
+pub use error::{BaselineError, Result};

@@ -1,0 +1,137 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **sorted arrays vs hash sets** in the MGT inner loop — the paper's
+//!   §IV-A1 reports >10× slowdown with any set/map structure; this bench
+//!   reproduces the comparison directly;
+//! * **balanced vs naive ranges** — the struggler's work under each
+//!   strategy (Figure 9's mechanism);
+//! * **galloping crossover** — where the adaptive intersection should
+//!   switch strategies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::HashSet;
+use std::hint::black_box;
+
+use pdtl_core::intersect::{intersect_count, intersect_gallop_visit, intersect_visit};
+use pdtl_core::orient::orient_csr;
+use pdtl_core::BalanceStrategy;
+use pdtl_graph::gen::rmat::rmat;
+
+/// Hash-set inner loop: what the paper measured and rejected.
+fn forward_with_hashsets(o: &pdtl_core::orient::OrientedCsr) -> u64 {
+    let sets: Vec<HashSet<u32>> = (0..o.num_vertices())
+        .map(|u| o.out(u).iter().copied().collect())
+        .collect();
+    let mut count = 0u64;
+    for u in 0..o.num_vertices() {
+        for &v in o.out(u) {
+            let (small, large) = if sets[u as usize].len() <= sets[v as usize].len() {
+                (&sets[u as usize], &sets[v as usize])
+            } else {
+                (&sets[v as usize], &sets[u as usize])
+            };
+            count += small.iter().filter(|w| large.contains(w)).count() as u64;
+        }
+    }
+    count
+}
+
+fn forward_with_arrays(o: &pdtl_core::orient::OrientedCsr) -> u64 {
+    let mut count = 0u64;
+    for u in 0..o.num_vertices() {
+        for &v in o.out(u) {
+            count += intersect_count(o.out(u), o.out(v));
+        }
+    }
+    count
+}
+
+fn bench_arrays_vs_sets(c: &mut Criterion) {
+    let g = rmat(9, 11).unwrap();
+    let o = orient_csr(&g);
+    let expected = forward_with_arrays(&o);
+    assert_eq!(forward_with_hashsets(&o), expected);
+
+    let mut group = c.benchmark_group("inner_loop");
+    group.bench_function("sorted_arrays", |b| {
+        b.iter(|| forward_with_arrays(black_box(&o)))
+    });
+    group.bench_function("hash_sets", |b| {
+        b.iter(|| forward_with_hashsets(black_box(&o)))
+    });
+    group.finish();
+}
+
+fn bench_balance_struggler(c: &mut Criterion) {
+    // Measures the *struggler's* actual MGT work under each split: run
+    // only the heaviest range.
+    let g = rmat(10, 12).unwrap();
+    let o = orient_csr(&g);
+    let ins = o.in_degrees();
+    let mut group = c.benchmark_group("struggler_range");
+    for strategy in [BalanceStrategy::EqualEdges, BalanceStrategy::InDegree] {
+        let (ranges, _) = pdtl_core::split_ranges(&o.offsets, &ins, 8, strategy);
+        // heaviest by modeled weight
+        let heaviest = ranges
+            .iter()
+            .copied()
+            .max_by(|a, b| {
+                pdtl_core::balance::range_weight(&o.offsets, &ins, *a)
+                    .partial_cmp(&pdtl_core::balance::range_weight(&o.offsets, &ins, *b))
+                    .unwrap()
+            })
+            .unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{strategy:?}")),
+            &heaviest,
+            |b, &range| {
+                b.iter(|| {
+                    // in-memory emulation of the range's intersection work
+                    let mut work = 0u64;
+                    for u in 0..o.num_vertices() {
+                        for &v in o.out(u) {
+                            let pos = o.offsets[v as usize];
+                            if pos >= range.start && pos < range.end {
+                                work += intersect_count(o.out(u), o.out(v));
+                            }
+                        }
+                    }
+                    black_box(work)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_gallop_crossover(c: &mut Criterion) {
+    let large: Vec<u32> = (0..100_000u32).collect();
+    let mut group = c.benchmark_group("gallop_crossover");
+    for &small_len in &[10usize, 100, 1000, 10_000] {
+        // spread the small set across the whole id range (as real
+        // adjacency lists are), so the linear merge cannot early-exit
+        let stride = (100_000 / small_len) as u32;
+        let small: Vec<u32> = (0..small_len as u32).map(|i| i * stride + 1).collect();
+        group.bench_with_input(
+            BenchmarkId::new("linear", small_len),
+            &small,
+            |b, small| b.iter(|| intersect_visit(black_box(small), black_box(&large), |_| {})),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("gallop", small_len),
+            &small,
+            |b, small| {
+                b.iter(|| intersect_gallop_visit(black_box(small), black_box(&large), |_| {}))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_arrays_vs_sets,
+    bench_balance_struggler,
+    bench_gallop_crossover
+);
+criterion_main!(benches);

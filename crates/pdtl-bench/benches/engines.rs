@@ -1,0 +1,88 @@
+//! End-to-end engine comparison on a common workload: PDTL/MGT versus
+//! every baseline, all counting the same RMAT graph.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pdtl_baselines::{cttp, inmem, patric, powergraph};
+use pdtl_core::mgt::mgt_in_memory;
+use pdtl_core::orient::orient_csr;
+use pdtl_core::sink::CountSink;
+use pdtl_graph::gen::rmat::rmat;
+use pdtl_io::MemoryBudget;
+
+fn bench_engines(c: &mut Criterion) {
+    let g = rmat(9, 7).unwrap();
+    let o = orient_csr(&g);
+    let expected = pdtl_graph::verify::triangle_count(&g);
+
+    let mut group = c.benchmark_group("engines_rmat9");
+
+    group.bench_function("mgt_in_memory", |b| {
+        b.iter(|| {
+            let (t, _) = mgt_in_memory(black_box(&o), MemoryBudget::edges(1 << 16), &mut CountSink);
+            assert_eq!(t, expected);
+            t
+        })
+    });
+
+    group.bench_function("forward", |b| {
+        b.iter(|| {
+            let t = inmem::forward_oriented(black_box(&o));
+            assert_eq!(t, expected);
+            t
+        })
+    });
+
+    group.bench_function("edge_iterator", |b| {
+        b.iter(|| inmem::edge_iterator(black_box(&g)))
+    });
+
+    group.bench_function("node_iterator", |b| {
+        b.iter(|| inmem::node_iterator(black_box(&g)))
+    });
+
+    group.bench_function("powergraph_4m", |b| {
+        b.iter(|| {
+            powergraph::triangle_count(
+                black_box(&g),
+                powergraph::PowerGraphConfig {
+                    machines: 4,
+                    memory_bytes: u64::MAX,
+                    cut: powergraph::VertexCut::Greedy,
+                    seed: 1,
+                },
+            )
+            .unwrap()
+            .triangles
+        })
+    });
+
+    group.bench_function("patric_4p", |b| {
+        b.iter(|| {
+            patric::run(
+                black_box(&g),
+                patric::PatricConfig {
+                    processors: 4,
+                    memory_bytes: u64::MAX,
+                    balance: patric::PatricBalance::ByDegreeSum,
+                },
+            )
+            .unwrap()
+            .triangles
+        })
+    });
+
+    group.bench_function("cttp_rho3", |b| {
+        b.iter(|| {
+            cttp::run(black_box(&g), cttp::CttpConfig { rho: 3, reducers: 4 })
+                .unwrap()
+                .triangles
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Micro-benchmarks of PDTL's hot kernels: sorted-array intersection,
+//! the in-memory MGT chunk loop, orientation, and load-balance
+//! computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pdtl_core::intersect::{intersect_gallop_visit, intersect_visit};
+use pdtl_core::mgt::mgt_in_memory;
+use pdtl_core::orient::orient_csr;
+use pdtl_core::sink::CountSink;
+use pdtl_core::{split_ranges, BalanceStrategy};
+use pdtl_graph::gen::rmat::rmat;
+use pdtl_io::MemoryBudget;
+
+fn sorted_set(n: usize, stride: u32, offset: u32) -> Vec<u32> {
+    (0..n as u32).map(|i| i * stride + offset).collect()
+}
+
+fn bench_intersection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intersect");
+    for &(a_len, b_len) in &[(1000usize, 1000usize), (100, 10_000), (10, 100_000)] {
+        // both sets span the same id range so neither side can early-exit
+        let span = (a_len.max(b_len) * 5) as u32;
+        let a = sorted_set(a_len, span / a_len as u32, 3);
+        let b = sorted_set(b_len, span / b_len as u32, 0);
+        group.bench_with_input(
+            BenchmarkId::new("linear", format!("{a_len}x{b_len}")),
+            &(&a, &b),
+            |bencher, (a, b)| bencher.iter(|| intersect_visit(black_box(a), black_box(b), |_| {})),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("gallop", format!("{a_len}x{b_len}")),
+            &(&a, &b),
+            |bencher, (a, b)| {
+                bencher.iter(|| intersect_gallop_visit(black_box(a), black_box(b), |_| {}))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_mgt_chunks(c: &mut Criterion) {
+    let g = rmat(10, 1).unwrap();
+    let o = orient_csr(&g);
+    let mut group = c.benchmark_group("mgt_in_memory");
+    for &budget in &[1usize << 20, 1 << 14, 1 << 11] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("budget_{budget}")),
+            &budget,
+            |bencher, &budget| {
+                bencher.iter(|| {
+                    let (t, _) =
+                        mgt_in_memory(black_box(&o), MemoryBudget::edges(budget), &mut CountSink);
+                    t
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_orientation(c: &mut Criterion) {
+    let g = rmat(10, 2).unwrap();
+    c.bench_function("orient_csr_rmat10", |b| {
+        b.iter(|| orient_csr(black_box(&g)))
+    });
+}
+
+fn bench_balance(c: &mut Criterion) {
+    let g = rmat(12, 3).unwrap();
+    let o = orient_csr(&g);
+    let ins = o.in_degrees();
+    let mut group = c.benchmark_group("split_ranges");
+    for strategy in [BalanceStrategy::EqualEdges, BalanceStrategy::InDegree] {
+        group.bench_function(format!("{strategy:?}_x64"), |b| {
+            b.iter(|| split_ranges(black_box(&o.offsets), black_box(&ins), 64, strategy))
+        });
+    }
+    group.finish();
+}
+
+fn bench_generators(c: &mut Criterion) {
+    c.bench_function("rmat_k8", |b| b.iter(|| rmat(8, black_box(4)).unwrap()));
+}
+
+criterion_group!(
+    benches,
+    bench_intersection,
+    bench_mgt_chunks,
+    bench_orientation,
+    bench_balance,
+    bench_generators
+);
+criterion_main!(benches);

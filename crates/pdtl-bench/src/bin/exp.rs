@@ -1,0 +1,54 @@
+//! Experiment runner: regenerates the paper's tables and figures.
+//!
+//! ```text
+//! exp all            # every experiment, Full profile
+//! exp table6 fig9    # selected experiments
+//! exp all --quick    # tiny graphs (CI / smoke test)
+//! ```
+
+use pdtl_bench::experiments::{run_experiment, ALL_EXPERIMENTS};
+use pdtl_bench::workbench::{Profile, Workbench};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let ids: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with('-'))
+        .cloned()
+        .collect();
+    if ids.is_empty() {
+        eprintln!("usage: exp <all | id...> [--quick]");
+        eprintln!("experiment ids: {}", ALL_EXPERIMENTS.join(" "));
+        std::process::exit(2);
+    }
+
+    let profile = if quick { Profile::Quick } else { Profile::Full };
+    let data_dir = std::path::Path::new("target").join("pdtl-data");
+    let mut wb = Workbench::new(profile, data_dir);
+
+    let selected: Vec<&str> = if ids.iter().any(|i| i == "all") {
+        ALL_EXPERIMENTS.to_vec()
+    } else {
+        ids.iter().map(|s| s.as_str()).collect()
+    };
+
+    println!(
+        "PDTL experiment harness — profile: {:?} (modeled times use the paper's \
+         500 MB/s SSD / 10 GbE cost model)",
+        profile
+    );
+    for id in selected {
+        let start = std::time::Instant::now();
+        match run_experiment(id, &mut wb) {
+            Some(out) => {
+                print!("{out}");
+                println!("[{id} regenerated in {:.1?}]", start.elapsed());
+            }
+            None => {
+                eprintln!("unknown experiment id: {id}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

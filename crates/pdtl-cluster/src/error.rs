@@ -1,0 +1,82 @@
+//! Error type for the distributed runtime.
+
+use std::fmt;
+
+/// Result alias for cluster operations.
+pub type Result<T> = std::result::Result<T, ClusterError>;
+
+/// Errors raised by the distributed runtime.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// Underlying core failure (orientation, MGT, balancing).
+    Core(pdtl_core::CoreError),
+    /// Underlying I/O substrate failure.
+    Io(pdtl_io::IoError),
+    /// A malformed or unexpected protocol message.
+    Protocol(String),
+    /// A transport endpoint disconnected.
+    Disconnected(&'static str),
+    /// An invalid cluster configuration.
+    Config(String),
+    /// A node task panicked.
+    NodePanic(usize),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Core(e) => write!(f, "core: {e}"),
+            ClusterError::Io(e) => write!(f, "io: {e}"),
+            ClusterError::Protocol(msg) => write!(f, "protocol: {msg}"),
+            ClusterError::Disconnected(who) => write!(f, "transport disconnected: {who}"),
+            ClusterError::Config(msg) => write!(f, "configuration: {msg}"),
+            ClusterError::NodePanic(id) => write!(f, "node {id} panicked"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Core(e) => Some(e),
+            ClusterError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<pdtl_core::CoreError> for ClusterError {
+    fn from(e: pdtl_core::CoreError) -> Self {
+        ClusterError::Core(e)
+    }
+}
+
+impl From<pdtl_io::IoError> for ClusterError {
+    fn from(e: pdtl_io::IoError) -> Self {
+        ClusterError::Io(e)
+    }
+}
+
+impl From<pdtl_graph::GraphError> for ClusterError {
+    fn from(e: pdtl_graph::GraphError) -> Self {
+        ClusterError::Core(pdtl_core::CoreError::Graph(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_all_variants() {
+        assert!(ClusterError::Protocol("bad tag".into())
+            .to_string()
+            .contains("bad tag"));
+        assert!(ClusterError::Disconnected("node 3")
+            .to_string()
+            .contains("node 3"));
+        assert!(ClusterError::NodePanic(2).to_string().contains('2'));
+        let e: ClusterError = pdtl_io::IoError::malformed("/x", "y").into();
+        assert!(e.to_string().contains("io:"));
+    }
+}

@@ -1,0 +1,371 @@
+//! The wire protocol between master and nodes.
+//!
+//! Messages use a compact hand-rolled little-endian binary encoding (tag
+//! byte + fields) so their exact byte sizes are meaningful for the
+//! network accounting: the `Θ(NP)` configuration term and the `Θ(T)`
+//! listing term of Theorem IV.3 are measured from these encodings.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::{ClusterError, Result};
+
+/// One logical processor's configuration `C_{i,j}` (Figure 1): its
+/// memory budget and pivot-edge range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerConfig {
+    /// Range start (oriented adjacency position).
+    pub start: u64,
+    /// Range end (exclusive).
+    pub end: u64,
+    /// Memory budget in edges.
+    pub budget_edges: u64,
+}
+
+/// One worker's result summary sent back to the master.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerSummary {
+    /// Worker index within the node.
+    pub worker: u32,
+    /// Range start.
+    pub start: u64,
+    /// Range end.
+    pub end: u64,
+    /// Triangles found.
+    pub triangles: u64,
+    /// MGT chunk iterations.
+    pub iterations: u64,
+    /// Counted CPU operations.
+    pub cpu_ops: u64,
+    /// Bytes read from disk.
+    pub bytes_read: u64,
+    /// Bytes written to disk.
+    pub bytes_written: u64,
+    /// Disk seeks.
+    pub seeks: u64,
+    /// Read + write operations.
+    pub io_ops: u64,
+    /// Nanoseconds blocked in I/O.
+    pub io_nanos: u64,
+    /// Worker wall time in nanoseconds.
+    pub wall_nanos: u64,
+}
+
+/// Protocol messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Master → node: the node's id, graph replica base path, and one
+    /// config per local core.
+    Config {
+        /// Node id (0 = master's own node).
+        node: u32,
+        /// Base path of the node's local oriented-graph replica.
+        graph_base: String,
+        /// Per-core configurations.
+        workers: Vec<WorkerConfig>,
+        /// Whether to stream triangle lists back.
+        listing: bool,
+    },
+    /// Node → master: per-worker summaries.
+    Results {
+        /// Node id.
+        node: u32,
+        /// Per-worker results.
+        workers: Vec<WorkerSummary>,
+    },
+    /// Node → master: a batch of listed triangles (cone first).
+    Triangles {
+        /// Node id.
+        node: u32,
+        /// Triples `(u, v, w)`.
+        triples: Vec<(u32, u32, u32)>,
+    },
+    /// Node → master: node failed with an error message.
+    NodeError {
+        /// Node id.
+        node: u32,
+        /// Human-readable failure description.
+        detail: String,
+    },
+}
+
+const TAG_CONFIG: u8 = 1;
+const TAG_RESULTS: u8 = 2;
+const TAG_TRIANGLES: u8 = 3;
+const TAG_NODE_ERROR: u8 = 4;
+
+impl Message {
+    /// Encode into a byte buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::new();
+        match self {
+            Message::Config {
+                node,
+                graph_base,
+                workers,
+                listing,
+            } => {
+                b.put_u8(TAG_CONFIG);
+                b.put_u32_le(*node);
+                put_string(&mut b, graph_base);
+                b.put_u8(u8::from(*listing));
+                b.put_u32_le(workers.len() as u32);
+                for w in workers {
+                    b.put_u64_le(w.start);
+                    b.put_u64_le(w.end);
+                    b.put_u64_le(w.budget_edges);
+                }
+            }
+            Message::Results { node, workers } => {
+                b.put_u8(TAG_RESULTS);
+                b.put_u32_le(*node);
+                b.put_u32_le(workers.len() as u32);
+                for w in workers {
+                    b.put_u32_le(w.worker);
+                    for v in [
+                        w.start,
+                        w.end,
+                        w.triangles,
+                        w.iterations,
+                        w.cpu_ops,
+                        w.bytes_read,
+                        w.bytes_written,
+                        w.seeks,
+                        w.io_ops,
+                        w.io_nanos,
+                        w.wall_nanos,
+                    ] {
+                        b.put_u64_le(v);
+                    }
+                }
+            }
+            Message::Triangles { node, triples } => {
+                b.put_u8(TAG_TRIANGLES);
+                b.put_u32_le(*node);
+                b.put_u32_le(triples.len() as u32);
+                for &(u, v, w) in triples {
+                    b.put_u32_le(u);
+                    b.put_u32_le(v);
+                    b.put_u32_le(w);
+                }
+            }
+            Message::NodeError { node, detail } => {
+                b.put_u8(TAG_NODE_ERROR);
+                b.put_u32_le(*node);
+                put_string(&mut b, detail);
+            }
+        }
+        b.freeze()
+    }
+
+    /// Decode a buffer produced by [`encode`](Self::encode).
+    pub fn decode(mut buf: Bytes) -> Result<Self> {
+        if buf.remaining() < 5 {
+            return Err(ClusterError::Protocol("short message".into()));
+        }
+        let tag = buf.get_u8();
+        let node = buf.get_u32_le();
+        match tag {
+            TAG_CONFIG => {
+                let graph_base = get_string(&mut buf)?;
+                need(&buf, 5)?;
+                let listing = buf.get_u8() != 0;
+                let count = buf.get_u32_le() as usize;
+                need(&buf, count * 24)?;
+                let workers = (0..count)
+                    .map(|_| WorkerConfig {
+                        start: buf.get_u64_le(),
+                        end: buf.get_u64_le(),
+                        budget_edges: buf.get_u64_le(),
+                    })
+                    .collect();
+                Ok(Message::Config {
+                    node,
+                    graph_base,
+                    workers,
+                    listing,
+                })
+            }
+            TAG_RESULTS => {
+                need(&buf, 4)?;
+                let count = buf.get_u32_le() as usize;
+                need(&buf, count * (4 + 11 * 8))?;
+                let workers = (0..count)
+                    .map(|_| WorkerSummary {
+                        worker: buf.get_u32_le(),
+                        start: buf.get_u64_le(),
+                        end: buf.get_u64_le(),
+                        triangles: buf.get_u64_le(),
+                        iterations: buf.get_u64_le(),
+                        cpu_ops: buf.get_u64_le(),
+                        bytes_read: buf.get_u64_le(),
+                        bytes_written: buf.get_u64_le(),
+                        seeks: buf.get_u64_le(),
+                        io_ops: buf.get_u64_le(),
+                        io_nanos: buf.get_u64_le(),
+                        wall_nanos: buf.get_u64_le(),
+                    })
+                    .collect();
+                Ok(Message::Results { node, workers })
+            }
+            TAG_TRIANGLES => {
+                need(&buf, 4)?;
+                let count = buf.get_u32_le() as usize;
+                need(&buf, count * 12)?;
+                let triples = (0..count)
+                    .map(|_| (buf.get_u32_le(), buf.get_u32_le(), buf.get_u32_le()))
+                    .collect();
+                Ok(Message::Triangles { node, triples })
+            }
+            TAG_NODE_ERROR => {
+                let detail = get_string(&mut buf)?;
+                Ok(Message::NodeError { node, detail })
+            }
+            t => Err(ClusterError::Protocol(format!("unknown tag {t}"))),
+        }
+    }
+
+    /// Encoded size in bytes (what the network accounting charges).
+    pub fn wire_size(&self) -> u64 {
+        self.encode().len() as u64
+    }
+}
+
+fn put_string(b: &mut BytesMut, s: &str) {
+    b.put_u32_le(s.len() as u32);
+    b.put_slice(s.as_bytes());
+}
+
+fn get_string(buf: &mut Bytes) -> Result<String> {
+    need(buf, 4)?;
+    let len = buf.get_u32_le() as usize;
+    need(buf, len)?;
+    let raw = buf.split_to(len);
+    String::from_utf8(raw.to_vec())
+        .map_err(|_| ClusterError::Protocol("invalid utf-8 string".into()))
+}
+
+fn need(buf: &Bytes, n: usize) -> Result<()> {
+    if buf.remaining() < n {
+        Err(ClusterError::Protocol(format!(
+            "truncated message: need {n}, have {}",
+            buf.remaining()
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_summary(i: u32) -> WorkerSummary {
+        WorkerSummary {
+            worker: i,
+            start: 10 * i as u64,
+            end: 10 * i as u64 + 10,
+            triangles: 42 + i as u64,
+            iterations: 3,
+            cpu_ops: 1_000_000,
+            bytes_read: 4096,
+            bytes_written: 0,
+            seeks: 2,
+            io_ops: 7,
+            io_nanos: 123_456,
+            wall_nanos: 999_999,
+        }
+    }
+
+    #[test]
+    fn config_round_trip() {
+        let msg = Message::Config {
+            node: 3,
+            graph_base: "/data/node3/oriented".into(),
+            workers: vec![
+                WorkerConfig {
+                    start: 0,
+                    end: 100,
+                    budget_edges: 50,
+                },
+                WorkerConfig {
+                    start: 100,
+                    end: 220,
+                    budget_edges: 50,
+                },
+            ],
+            listing: true,
+        };
+        assert_eq!(Message::decode(msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn results_round_trip() {
+        let msg = Message::Results {
+            node: 1,
+            workers: (0..5).map(sample_summary).collect(),
+        };
+        assert_eq!(Message::decode(msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn triangles_round_trip() {
+        let msg = Message::Triangles {
+            node: 2,
+            triples: vec![(1, 2, 3), (4, 5, 6), (7, 8, 9)],
+        };
+        assert_eq!(Message::decode(msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn node_error_round_trip() {
+        let msg = Message::NodeError {
+            node: 7,
+            detail: "disk on fire".into(),
+        };
+        assert_eq!(Message::decode(msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn wire_size_matches_encoding() {
+        let msg = Message::Triangles {
+            node: 0,
+            triples: vec![(1, 2, 3); 100],
+        };
+        // 1 tag + 4 node + 4 count + 100 * 12
+        assert_eq!(msg.wire_size(), 9 + 1200);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Message::decode(Bytes::from_static(&[])).is_err());
+        assert!(Message::decode(Bytes::from_static(&[9, 0, 0, 0, 0])).is_err());
+        // truncated config
+        let msg = Message::Config {
+            node: 0,
+            graph_base: "x".into(),
+            workers: vec![WorkerConfig {
+                start: 0,
+                end: 1,
+                budget_edges: 1,
+            }],
+            listing: false,
+        };
+        let enc = msg.encode();
+        let cut = enc.slice(0..enc.len() - 3);
+        assert!(Message::decode(cut).is_err());
+    }
+
+    #[test]
+    fn empty_collections_round_trip() {
+        let msg = Message::Results {
+            node: 0,
+            workers: vec![],
+        };
+        assert_eq!(Message::decode(msg.encode()).unwrap(), msg);
+        let msg = Message::Triangles {
+            node: 0,
+            triples: vec![],
+        };
+        assert_eq!(Message::decode(msg.encode()).unwrap(), msg);
+    }
+}

@@ -1,0 +1,271 @@
+//! Worker-node logic.
+//!
+//! A node receives one [`Message::Config`], opens its local replica of
+//! the oriented graph, runs one MGT worker thread per configured core,
+//! and sends the results (and triangle batches, when listing) back to
+//! the master. Nodes are transport-agnostic: the same function serves an
+//! in-process simulated node and a TCP-connected remote process.
+
+use pdtl_core::balance::EdgeRange;
+use pdtl_core::mgt::mgt_count_range;
+use pdtl_core::orient::OrientedGraph;
+use pdtl_core::sink::{CollectSink, CountSink, TriangleSink};
+use pdtl_core::WorkerReport;
+use pdtl_io::{IoStats, MemoryBudget};
+
+use crate::error::{ClusterError, Result};
+use crate::message::{Message, WorkerConfig, WorkerSummary};
+use crate::transport::Transport;
+
+/// Serve exactly one counting request arriving on `transport`.
+///
+/// Protocol: recv `Config` → (optionally send `Triangles`) → send
+/// `Results`, or send `NodeError` on failure.
+pub fn serve_node<T: Transport>(transport: &T) -> Result<()> {
+    let msg = transport.recv()?;
+    let Message::Config {
+        node,
+        graph_base,
+        workers,
+        listing,
+    } = msg
+    else {
+        return Err(ClusterError::Protocol(
+            "node expected a Config message".into(),
+        ));
+    };
+
+    match run_workers(&graph_base, &workers, listing) {
+        Ok((summaries, triples)) => {
+            if listing {
+                transport.send(&Message::Triangles { node, triples })?;
+            }
+            transport.send(&Message::Results {
+                node,
+                workers: summaries,
+            })?;
+            Ok(())
+        }
+        Err(e) => {
+            transport.send(&Message::NodeError {
+                node,
+                detail: e.to_string(),
+            })?;
+            Ok(())
+        }
+    }
+}
+
+/// Run the node's worker threads; returns per-worker summaries and (when
+/// listing) all collected triangles.
+#[allow(clippy::type_complexity)]
+pub fn run_workers(
+    graph_base: &str,
+    configs: &[WorkerConfig],
+    listing: bool,
+) -> Result<(Vec<WorkerSummary>, Vec<(u32, u32, u32)>)> {
+    let stats = IoStats::new();
+    let og = OrientedGraph::open(graph_base, &stats)?;
+    let og_ref = &og;
+
+    type WorkerOut = (WorkerReport, Vec<(u32, u32, u32)>);
+    let mut slots: Vec<Option<pdtl_core::Result<WorkerOut>>> =
+        (0..configs.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (i, cfg) in configs.iter().enumerate() {
+            handles.push(scope.spawn(move || -> pdtl_core::Result<WorkerOut> {
+                let stats = IoStats::new();
+                let range = EdgeRange {
+                    start: cfg.start,
+                    end: cfg.end,
+                };
+                let budget = MemoryBudget::edges(cfg.budget_edges as usize);
+                if listing {
+                    let mut sink = CollectSink::default();
+                    let mut r = mgt_count_range(og_ref, range, budget, &mut sink, stats)?;
+                    r.worker = i;
+                    Ok((r, sink.triangles))
+                } else {
+                    let mut sink = CountSink;
+                    sink.flush().ok();
+                    let mut r = mgt_count_range(og_ref, range, budget, &mut sink, stats)?;
+                    r.worker = i;
+                    Ok((r, Vec::new()))
+                }
+            }));
+        }
+        for (i, h) in handles.into_iter().enumerate() {
+            slots[i] = Some(h.join().unwrap_or_else(|_| {
+                Err(pdtl_core::CoreError::WorkerPanic(format!("worker {i}")))
+            }));
+        }
+    });
+
+    let mut summaries = Vec::with_capacity(configs.len());
+    let mut triples = Vec::new();
+    for slot in slots.into_iter().flatten() {
+        let (r, t) = slot?;
+        summaries.push(summarize(&r));
+        triples.extend(t);
+    }
+    Ok((summaries, triples))
+}
+
+/// Convert a core [`WorkerReport`] into its wire summary.
+pub fn summarize(r: &WorkerReport) -> WorkerSummary {
+    WorkerSummary {
+        worker: r.worker as u32,
+        start: r.range.start,
+        end: r.range.end,
+        triangles: r.triangles,
+        iterations: r.iterations,
+        cpu_ops: r.cpu_ops,
+        bytes_read: r.io.bytes_read,
+        bytes_written: r.io.bytes_written,
+        seeks: r.io.seeks,
+        io_ops: r.io.read_ops + r.io.write_ops,
+        io_nanos: r.io.io_time.as_nanos() as u64,
+        wall_nanos: r.breakdown.wall.as_nanos() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netmodel::NetTraffic;
+    use crate::transport::in_proc_pair;
+    use pdtl_core::orient::orient_to_disk;
+    use pdtl_graph::gen::rmat::rmat;
+    use pdtl_graph::verify::triangle_count;
+    use pdtl_graph::DiskGraph;
+    use std::path::PathBuf;
+
+    fn tmpbase(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("pdtl-node-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    fn oriented_base(tag: &str) -> (String, u64, u64) {
+        let g = rmat(7, 41).unwrap();
+        let stats = IoStats::new();
+        let dg = DiskGraph::write(&g, tmpbase(&format!("{tag}-in")), &stats).unwrap();
+        let base = tmpbase(&format!("{tag}-or"));
+        let (og, _) = orient_to_disk(&dg, &base, 2, &stats).unwrap();
+        (
+            base.to_string_lossy().into_owned(),
+            og.m_star(),
+            triangle_count(&g),
+        )
+    }
+
+    #[test]
+    fn node_serves_counting_request() {
+        let (base, m_star, expected) = oriented_base("count");
+        let traffic = NetTraffic::new();
+        let (master, remote) = in_proc_pair(traffic.clone());
+        let handle = std::thread::spawn(move || serve_node(&remote));
+
+        let half = m_star / 2;
+        master
+            .send(&Message::Config {
+                node: 1,
+                graph_base: base,
+                workers: vec![
+                    WorkerConfig {
+                        start: 0,
+                        end: half,
+                        budget_edges: 256,
+                    },
+                    WorkerConfig {
+                        start: half,
+                        end: m_star,
+                        budget_edges: 256,
+                    },
+                ],
+                listing: false,
+            })
+            .unwrap();
+        let reply = master.recv().unwrap();
+        handle.join().unwrap().unwrap();
+
+        let Message::Results { node, workers } = reply else {
+            panic!("expected Results, got {reply:?}");
+        };
+        assert_eq!(node, 1);
+        assert_eq!(workers.len(), 2);
+        let total: u64 = workers.iter().map(|w| w.triangles).sum();
+        assert_eq!(total, expected);
+        assert!(workers.iter().all(|w| w.bytes_read > 0));
+        assert!(traffic.result_bytes() > 0);
+    }
+
+    #[test]
+    fn node_serves_listing_request() {
+        let (base, m_star, expected) = oriented_base("list");
+        let traffic = NetTraffic::new();
+        let (master, remote) = in_proc_pair(traffic.clone());
+        let handle = std::thread::spawn(move || serve_node(&remote));
+
+        master
+            .send(&Message::Config {
+                node: 2,
+                graph_base: base,
+                workers: vec![WorkerConfig {
+                    start: 0,
+                    end: m_star,
+                    budget_edges: 128,
+                }],
+                listing: true,
+            })
+            .unwrap();
+        let first = master.recv().unwrap();
+        let second = master.recv().unwrap();
+        handle.join().unwrap().unwrap();
+
+        let Message::Triangles { triples, .. } = first else {
+            panic!("expected Triangles first, got {first:?}");
+        };
+        let Message::Results { workers, .. } = second else {
+            panic!("expected Results second, got {second:?}");
+        };
+        assert_eq!(triples.len() as u64, expected);
+        assert_eq!(workers[0].triangles, expected);
+        // the Θ(T) term is real traffic
+        assert!(traffic.triangle_bytes() >= expected * 12);
+    }
+
+    #[test]
+    fn node_reports_errors_as_message() {
+        let traffic = NetTraffic::new();
+        let (master, remote) = in_proc_pair(traffic);
+        let handle = std::thread::spawn(move || serve_node(&remote));
+        master
+            .send(&Message::Config {
+                node: 3,
+                graph_base: "/nonexistent/graph".into(),
+                workers: vec![],
+                listing: false,
+            })
+            .unwrap();
+        let reply = master.recv().unwrap();
+        handle.join().unwrap().unwrap();
+        assert!(matches!(reply, Message::NodeError { node: 3, .. }));
+    }
+
+    #[test]
+    fn node_rejects_wrong_first_message() {
+        let traffic = NetTraffic::new();
+        let (master, remote) = in_proc_pair(traffic);
+        let handle = std::thread::spawn(move || serve_node(&remote));
+        master
+            .send(&Message::Results {
+                node: 0,
+                workers: vec![],
+            })
+            .unwrap();
+        let res = handle.join().unwrap();
+        assert!(matches!(res, Err(ClusterError::Protocol(_))));
+    }
+}

@@ -1,0 +1,292 @@
+//! Cluster-level result records.
+//!
+//! These aggregate the wire-level [`WorkerSummary`] records into the
+//! per-node and cluster-wide quantities the paper's evaluation reports:
+//! per-node CPU/I-O totals (Table IV, Figures 7/8), average copy times
+//! (Table III), calculation time as the struggler node's wall time
+//! (Section V-E3), and total network traffic (Theorem IV.3).
+
+use std::time::Duration;
+
+use pdtl_core::PhaseReport;
+use pdtl_io::{CostModel, ModeledTime};
+
+use crate::message::WorkerSummary;
+use crate::netmodel::NetModel;
+
+/// Per-node outcome.
+#[derive(Debug, Clone)]
+pub struct NodeReport {
+    /// Node id (0 = master).
+    pub node: usize,
+    /// Wall time spent copying this node's replica (zero for the
+    /// master, which owns the original).
+    pub copy: Duration,
+    /// Bytes replicated to this node.
+    pub copy_bytes: u64,
+    /// Per-worker summaries.
+    pub workers: Vec<WorkerSummary>,
+    /// Node wall time from config receipt to results sent.
+    pub wall: Duration,
+}
+
+impl NodeReport {
+    /// Triangles found on this node.
+    pub fn triangles(&self) -> u64 {
+        self.workers.iter().map(|w| w.triangles).sum()
+    }
+
+    /// Total CPU time proxy: counted operations summed over workers.
+    pub fn cpu_ops(&self) -> u64 {
+        self.workers.iter().map(|w| w.cpu_ops).sum()
+    }
+
+    /// Total bytes of disk I/O over the node's workers.
+    pub fn io_bytes(&self) -> u64 {
+        self.workers
+            .iter()
+            .map(|w| w.bytes_read + w.bytes_written)
+            .sum()
+    }
+
+    /// Total wall nanoseconds workers spent blocked on I/O.
+    pub fn io_nanos(&self) -> u64 {
+        self.workers.iter().map(|w| w.io_nanos).sum()
+    }
+
+    /// The node's calculation wall time: its slowest worker.
+    pub fn calc_wall(&self) -> Duration {
+        Duration::from_nanos(self.workers.iter().map(|w| w.wall_nanos).max().unwrap_or(0))
+    }
+
+    /// Modeled calculation time of the node: max over its workers,
+    /// compute/I-O overlapped.
+    pub fn modeled_calc(&self, cm: &CostModel) -> f64 {
+        self.workers
+            .iter()
+            .map(|w| {
+                ModeledTime {
+                    cpu: cm.cpu_seconds(w.cpu_ops),
+                    io: cm.io_seconds(w.bytes_read + w.bytes_written, w.io_ops),
+                    net: 0.0,
+                }
+                .total_overlapped()
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Modeled replication time of this node's copy under `nm`, given
+    /// `remote_nodes` receivers sharing the master uplink.
+    pub fn modeled_copy(&self, nm: &NetModel, remote_nodes: usize) -> f64 {
+        if self.copy_bytes == 0 {
+            0.0
+        } else {
+            nm.replication_secs(self.copy_bytes, remote_nodes)
+        }
+    }
+}
+
+/// A snapshot of the four network traffic classes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetSnapshot {
+    /// Configuration bytes (`Θ(NP)`).
+    pub config: u64,
+    /// Graph replication bytes (`Θ(N|E|)`).
+    pub graph: u64,
+    /// Result bytes.
+    pub result: u64,
+    /// Triangle-list bytes (`Θ(T)`).
+    pub triangles: u64,
+}
+
+impl NetSnapshot {
+    /// All traffic.
+    pub fn total(&self) -> u64 {
+        self.config + self.graph + self.result + self.triangles
+    }
+}
+
+/// The outcome of a distributed run.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Exact triangle count.
+    pub triangles: u64,
+    /// Master's orientation phase.
+    pub orientation: PhaseReport,
+    /// Master's load-balancing phase.
+    pub balancing: PhaseReport,
+    /// Per-node reports, index = node id.
+    pub nodes: Vec<NodeReport>,
+    /// Network traffic by class.
+    pub network: NetSnapshot,
+    /// End-to-end wall time.
+    pub wall: Duration,
+    /// Collected triangles (listing mode only).
+    pub listed: Option<Vec<(u32, u32, u32)>>,
+}
+
+impl ClusterReport {
+    /// Cluster calculation time: the struggler node.
+    pub fn calc_wall(&self) -> Duration {
+        self.nodes
+            .iter()
+            .map(|n| n.calc_wall())
+            .max()
+            .unwrap_or_default()
+    }
+
+    /// Average copy wall time over remote (non-master) nodes — the
+    /// "Avg copy time" column of Table III.
+    pub fn avg_copy(&self) -> Duration {
+        let remote: Vec<_> = self.nodes.iter().filter(|n| n.copy_bytes > 0).collect();
+        if remote.is_empty() {
+            return Duration::ZERO;
+        }
+        let total: Duration = remote.iter().map(|n| n.copy).sum();
+        total / remote.len() as u32
+    }
+
+    /// Modeled calculation time: struggler node under the cost model.
+    pub fn modeled_calc(&self, cm: &CostModel) -> f64 {
+        self.nodes
+            .iter()
+            .map(|n| n.modeled_calc(cm))
+            .fold(0.0, f64::max)
+    }
+
+    /// Modeled average copy time under the network model.
+    pub fn modeled_avg_copy(&self, nm: &NetModel) -> f64 {
+        let remotes = self.nodes.iter().filter(|n| n.copy_bytes > 0).count();
+        if remotes == 0 {
+            return 0.0;
+        }
+        let total: f64 = self
+            .nodes
+            .iter()
+            .map(|n| n.modeled_copy(nm, remotes))
+            .sum();
+        total / remotes as f64
+    }
+
+    /// Modeled total: orientation + struggler(copy + calc).
+    pub fn modeled_total(&self, cm: &CostModel, nm: &NetModel) -> f64 {
+        let remotes = self.nodes.iter().filter(|n| n.copy_bytes > 0).count();
+        let struggle = self
+            .nodes
+            .iter()
+            .map(|n| n.modeled_copy(nm, remotes) + n.modeled_calc(cm))
+            .fold(0.0, f64::max);
+        self.orientation.modeled(cm).total_overlapped()
+            + self.balancing.modeled(cm).total_overlapped()
+            + struggle
+    }
+
+    /// Sum of per-node triangle counts (must equal `triangles`).
+    pub fn node_triangle_sum(&self) -> u64 {
+        self.nodes.iter().map(|n| n.triangles()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(w: u32, tri: u64, wall_ms: u64) -> WorkerSummary {
+        WorkerSummary {
+            worker: w,
+            start: 0,
+            end: 10,
+            triangles: tri,
+            iterations: 1,
+            cpu_ops: 1_000_000 * (w as u64 + 1),
+            bytes_read: 5000,
+            bytes_written: 0,
+            seeks: 1,
+            io_ops: 3,
+            io_nanos: 1000,
+            wall_nanos: wall_ms * 1_000_000,
+        }
+    }
+
+    fn node(id: usize, copy_ms: u64, walls: &[u64]) -> NodeReport {
+        NodeReport {
+            node: id,
+            copy: Duration::from_millis(copy_ms),
+            copy_bytes: if copy_ms == 0 { 0 } else { copy_ms * 1000 },
+            workers: walls
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| summary(i as u32, 5, w))
+                .collect(),
+            wall: Duration::from_millis(*walls.iter().max().unwrap_or(&0)),
+        }
+    }
+
+    fn report() -> ClusterReport {
+        ClusterReport {
+            triangles: 20,
+            orientation: PhaseReport::default(),
+            balancing: PhaseReport::default(),
+            nodes: vec![node(0, 0, &[10, 20]), node(1, 7, &[30, 5])],
+            network: NetSnapshot {
+                config: 100,
+                graph: 10_000,
+                result: 200,
+                triangles: 0,
+            },
+            wall: Duration::from_millis(60),
+            listed: None,
+        }
+    }
+
+    #[test]
+    fn calc_wall_is_struggler_node() {
+        assert_eq!(report().calc_wall(), Duration::from_millis(30));
+    }
+
+    #[test]
+    fn avg_copy_ignores_master() {
+        assert_eq!(report().avg_copy(), Duration::from_millis(7));
+    }
+
+    #[test]
+    fn node_aggregates() {
+        let r = report();
+        assert_eq!(r.nodes[0].triangles(), 10);
+        assert_eq!(r.node_triangle_sum(), 20);
+        assert_eq!(r.nodes[0].io_bytes(), 10_000);
+        assert_eq!(r.nodes[0].cpu_ops(), 3_000_000);
+    }
+
+    #[test]
+    fn net_snapshot_totals() {
+        assert_eq!(report().network.total(), 10_300);
+    }
+
+    #[test]
+    fn modeled_times_positive_and_ordered() {
+        let r = report();
+        let cm = CostModel::default();
+        let nm = NetModel::default();
+        let calc = r.modeled_calc(&cm);
+        assert!(calc > 0.0);
+        assert!(r.modeled_total(&cm, &nm) >= calc);
+        assert!(r.modeled_avg_copy(&nm) > 0.0);
+    }
+
+    #[test]
+    fn empty_cluster_degenerates() {
+        let r = ClusterReport {
+            triangles: 0,
+            orientation: PhaseReport::default(),
+            balancing: PhaseReport::default(),
+            nodes: vec![],
+            network: NetSnapshot::default(),
+            wall: Duration::ZERO,
+            listed: None,
+        };
+        assert_eq!(r.calc_wall(), Duration::ZERO);
+        assert_eq!(r.avg_copy(), Duration::ZERO);
+        assert_eq!(r.modeled_avg_copy(&NetModel::default()), 0.0);
+    }
+}

@@ -1,0 +1,298 @@
+//! Load balancing: contiguous pivot-edge ranges per processor.
+//!
+//! PDTL assigns each of the `N·P` logical processors a *contiguous* range
+//! of oriented adjacency positions; a processor finds exactly the
+//! triangles whose pivot edge lies in its range, so ranges partition the
+//! work with no duplication (Section IV-B).
+//!
+//! Two strategies, matching the paper's Figure 9 comparison:
+//!
+//! * [`BalanceStrategy::EqualEdges`] — the naive split: every processor
+//!   gets `|E*| / NP` positions.
+//! * [`BalanceStrategy::InDegree`] — the paper's load balancer:
+//!   *"calculates the number of in-edges for each vertex after
+//!   orientation (equal to d(v) − d*(v)), and splits the edges … so the
+//!   sum of these in-degrees are approximately the same among all
+//!   processors. This provides an estimate for the average size of
+//!   N⁺(u), and thus the number of required intersections."* The work a
+//!   resident pivot edge `(v, w)` causes is one intersection per
+//!   in-neighbour of `v`, so a vertex's cost weight is `in(v)` spread
+//!   over its `d*(v)` resident positions (plus a small per-position term
+//!   for the scan itself).
+
+use crate::metrics::PhaseReport;
+use pdtl_io::TimeBreakdown;
+use std::time::Instant;
+
+/// A contiguous half-open range of oriented adjacency positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeRange {
+    /// First position (inclusive).
+    pub start: u64,
+    /// One past the last position.
+    pub end: u64,
+}
+
+impl EdgeRange {
+    /// Number of positions in the range.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// True when the range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// How to split the oriented adjacency across processors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BalanceStrategy {
+    /// Naive equal-position split (the paper's "w/o load balancing").
+    EqualEdges,
+    /// In-degree-weighted split (the paper's load balancer; default).
+    #[default]
+    InDegree,
+}
+
+/// Per-position weight of the scan itself, relative to one intersection
+/// unit. Keeps ranges finite on vertices with `in(v) = 0`.
+const SCAN_WEIGHT: f64 = 0.125;
+
+/// Split `m* = offsets[n]` oriented positions into `parts` contiguous
+/// ranges under `strategy`.
+///
+/// `offsets` are the oriented CSR offsets; `in_degrees` the
+/// post-orientation in-degrees (ignored for `EqualEdges`). Ranges cover
+/// `[0, m*)` exactly, in order, possibly empty at the tail for tiny
+/// graphs.
+pub fn split_ranges(
+    offsets: &[u64],
+    in_degrees: &[u32],
+    parts: usize,
+    strategy: BalanceStrategy,
+) -> (Vec<EdgeRange>, PhaseReport) {
+    let start = Instant::now();
+    let parts = parts.max(1);
+    let m_star = *offsets.last().unwrap();
+    let ranges = match strategy {
+        BalanceStrategy::EqualEdges => equal_split(m_star, parts),
+        BalanceStrategy::InDegree => weighted_split(offsets, in_degrees, parts),
+    };
+    let n = offsets.len() as u64 - 1;
+    let report = PhaseReport {
+        breakdown: TimeBreakdown {
+            wall: start.elapsed(),
+            io: std::time::Duration::ZERO,
+        },
+        io: Default::default(),
+        // One pass over the degree arrays plus the split search.
+        cpu_ops: match strategy {
+            BalanceStrategy::EqualEdges => parts as u64,
+            BalanceStrategy::InDegree => n + parts as u64,
+        },
+        threads: 1,
+    };
+    (ranges, report)
+}
+
+fn equal_split(m_star: u64, parts: usize) -> Vec<EdgeRange> {
+    (0..parts as u64)
+        .map(|i| EdgeRange {
+            start: m_star * i / parts as u64,
+            end: m_star * (i + 1) / parts as u64,
+        })
+        .collect()
+}
+
+fn weighted_split(offsets: &[u64], in_degrees: &[u32], parts: usize) -> Vec<EdgeRange> {
+    let n = offsets.len() - 1;
+    debug_assert_eq!(in_degrees.len(), n);
+    let m_star = *offsets.last().unwrap();
+    if m_star == 0 {
+        return vec![EdgeRange { start: 0, end: 0 }; parts];
+    }
+
+    // Cumulative weight at each vertex boundary. A vertex with d*(v)
+    // positions carries total weight in(v) + SCAN_WEIGHT * d*(v),
+    // distributed uniformly over its positions.
+    let mut cum = Vec::with_capacity(n + 1);
+    cum.push(0.0f64);
+    let mut acc = 0.0f64;
+    for v in 0..n {
+        let d_star = (offsets[v + 1] - offsets[v]) as f64;
+        if d_star > 0.0 {
+            acc += in_degrees[v] as f64 + SCAN_WEIGHT * d_star;
+        }
+        cum.push(acc);
+    }
+    let total = acc;
+    if total <= 0.0 {
+        return equal_split(m_star, parts);
+    }
+
+    let mut ranges = Vec::with_capacity(parts);
+    let mut prev_pos = 0u64;
+    for i in 1..=parts {
+        let target = total * i as f64 / parts as f64;
+        let pos = if i == parts {
+            m_star
+        } else {
+            position_at_weight(offsets, &cum, target).max(prev_pos)
+        };
+        ranges.push(EdgeRange {
+            start: prev_pos,
+            end: pos,
+        });
+        prev_pos = pos;
+    }
+    ranges
+}
+
+/// The adjacency position at cumulative weight `target`: find the vertex
+/// whose weight interval contains it, then interpolate within its
+/// positions.
+fn position_at_weight(offsets: &[u64], cum: &[f64], target: f64) -> u64 {
+    let v = match cum.binary_search_by(|c| c.partial_cmp(&target).unwrap()) {
+        Ok(i) => i,
+        Err(i) => i.saturating_sub(1),
+    }
+    .min(cum.len() - 2);
+    let d_star = offsets[v + 1] - offsets[v];
+    if d_star == 0 {
+        return offsets[v];
+    }
+    let w_v = cum[v + 1] - cum[v];
+    let frac = if w_v > 0.0 {
+        ((target - cum[v]) / w_v).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    offsets[v] + (frac * d_star as f64).round() as u64
+}
+
+/// The modeled work units of a range under the in-degree cost model —
+/// used by tests and experiments to quantify balance quality.
+pub fn range_weight(offsets: &[u64], in_degrees: &[u32], range: EdgeRange) -> f64 {
+    let n = offsets.len() - 1;
+    let mut acc = 0.0f64;
+    for v in 0..n {
+        let (lo, hi) = (offsets[v], offsets[v + 1]);
+        if lo == hi || hi <= range.start || lo >= range.end {
+            continue;
+        }
+        let d_star = (hi - lo) as f64;
+        let overlap = (hi.min(range.end) - lo.max(range.start)) as f64;
+        acc += (in_degrees[v] as f64 + SCAN_WEIGHT * d_star) * overlap / d_star;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orient::orient_csr;
+    use pdtl_graph::gen::rmat::rmat;
+
+    fn check_partition(ranges: &[EdgeRange], m_star: u64) {
+        assert_eq!(ranges.first().unwrap().start, 0);
+        assert_eq!(ranges.last().unwrap().end, m_star);
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "contiguous, disjoint");
+        }
+    }
+
+    #[test]
+    fn equal_split_partitions_exactly() {
+        for parts in [1usize, 2, 3, 7, 64] {
+            let (ranges, _) = split_ranges(&[0, 100], &[0], parts, BalanceStrategy::EqualEdges);
+            check_partition(&ranges, 100);
+            let max = ranges.iter().map(|r| r.len()).max().unwrap();
+            let min = ranges.iter().map(|r| r.len()).min().unwrap();
+            assert!(max - min <= 1, "equal split is equal");
+        }
+    }
+
+    #[test]
+    fn weighted_split_partitions_exactly() {
+        let g = rmat(8, 1).unwrap();
+        let o = orient_csr(&g);
+        let ins = o.in_degrees();
+        for parts in [1usize, 2, 4, 16] {
+            let (ranges, _) = split_ranges(&o.offsets, &ins, parts, BalanceStrategy::InDegree);
+            assert_eq!(ranges.len(), parts);
+            check_partition(&ranges, o.m_star());
+        }
+    }
+
+    #[test]
+    fn weighted_split_balances_weight_better_than_naive_on_skewed_graph() {
+        let g = rmat(10, 2).unwrap();
+        let o = orient_csr(&g);
+        let ins = o.in_degrees();
+        let parts = 8;
+        let (naive, _) = split_ranges(&o.offsets, &ins, parts, BalanceStrategy::EqualEdges);
+        let (smart, _) = split_ranges(&o.offsets, &ins, parts, BalanceStrategy::InDegree);
+        let spread = |rs: &[EdgeRange]| {
+            let ws: Vec<f64> = rs
+                .iter()
+                .map(|&r| range_weight(&o.offsets, &ins, r))
+                .collect();
+            let max = ws.iter().cloned().fold(0.0, f64::max);
+            let avg = ws.iter().sum::<f64>() / ws.len() as f64;
+            max / avg
+        };
+        let (sn, ss) = (spread(&naive), spread(&smart));
+        assert!(
+            ss <= sn + 1e-9,
+            "balanced split must not be worse: naive {sn}, balanced {ss}"
+        );
+        assert!(ss < 1.5, "balanced spread should be close to 1, got {ss}");
+    }
+
+    #[test]
+    fn range_weights_sum_to_total() {
+        let g = rmat(7, 3).unwrap();
+        let o = orient_csr(&g);
+        let ins = o.in_degrees();
+        let (ranges, _) = split_ranges(&o.offsets, &ins, 5, BalanceStrategy::InDegree);
+        let sum: f64 = ranges
+            .iter()
+            .map(|&r| range_weight(&o.offsets, &ins, r))
+            .sum();
+        let full = range_weight(
+            &o.offsets,
+            &ins,
+            EdgeRange {
+                start: 0,
+                end: o.m_star(),
+            },
+        );
+        assert!((sum - full).abs() < 1e-6 * full.max(1.0));
+    }
+
+    #[test]
+    fn more_parts_than_edges() {
+        let (ranges, _) = split_ranges(&[0, 2], &[0], 5, BalanceStrategy::EqualEdges);
+        check_partition(&ranges, 2);
+        assert!(ranges.iter().filter(|r| !r.is_empty()).count() <= 2);
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_ranges() {
+        for strategy in [BalanceStrategy::EqualEdges, BalanceStrategy::InDegree] {
+            let (ranges, _) = split_ranges(&[0, 0, 0], &[0, 0], 3, strategy);
+            assert_eq!(ranges.len(), 3);
+            assert!(ranges.iter().all(|r| r.is_empty()));
+        }
+    }
+
+    #[test]
+    fn phase_report_counts_work() {
+        let g = rmat(6, 4).unwrap();
+        let o = orient_csr(&g);
+        let ins = o.in_degrees();
+        let (_, report) = split_ranges(&o.offsets, &ins, 4, BalanceStrategy::InDegree);
+        assert!(report.cpu_ops as usize >= ins.len());
+    }
+}

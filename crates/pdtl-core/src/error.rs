@@ -1,0 +1,68 @@
+//! Error type for the PDTL core.
+
+use std::fmt;
+
+/// Result alias for core operations.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Errors raised by orientation, balancing and the MGT engine.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Underlying I/O substrate failure.
+    Io(pdtl_io::IoError),
+    /// Underlying graph substrate failure.
+    Graph(pdtl_graph::GraphError),
+    /// An invalid configuration (zero cores, empty range set, …).
+    Config(String),
+    /// A worker thread panicked.
+    WorkerPanic(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Io(e) => write!(f, "io: {e}"),
+            CoreError::Graph(e) => write!(f, "graph: {e}"),
+            CoreError::Config(msg) => write!(f, "configuration: {msg}"),
+            CoreError::WorkerPanic(msg) => write!(f, "worker panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Io(e) => Some(e),
+            CoreError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<pdtl_io::IoError> for CoreError {
+    fn from(e: pdtl_io::IoError) -> Self {
+        CoreError::Io(e)
+    }
+}
+
+impl From<pdtl_graph::GraphError> for CoreError {
+    fn from(e: pdtl_graph::GraphError) -> Self {
+        CoreError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_converts() {
+        let e: CoreError = pdtl_io::IoError::malformed("/f", "x").into();
+        assert!(e.to_string().contains("io:"));
+        let e: CoreError = pdtl_graph::GraphError::Invalid("y".into()).into();
+        assert!(e.to_string().contains("graph:"));
+        assert!(CoreError::Config("no cores".into())
+            .to_string()
+            .contains("no cores"));
+    }
+}

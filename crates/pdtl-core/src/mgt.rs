@@ -1,0 +1,461 @@
+//! The modified MGT engine (the paper's Algorithm 2).
+//!
+//! Given the sorted, oriented graph `G*`, a processor responsible for the
+//! contiguous pivot-edge range `[lo, hi)` repeats, until the range is
+//! exhausted:
+//!
+//! 1. **Chunk load** — read the next `c·M` out-neighbours of the range
+//!    into the `edg` array, and record in the dense `ind` array (indexed
+//!    `v - vlow`) each resident vertex's segment offset and length.
+//! 2. **Scan** — stream every vertex `u`'s out-list `N(u)` from disk into
+//!    the `nm` array; compute `N⁺(u)` (those `v ∈ N(u)` with resident
+//!    out-edges) via O(1) `ind` probes; for each such `v`, intersect `nm`
+//!    with `v`'s resident segment and report `(u, v, w)` per common `w`.
+//!
+//! Everything is sorted arrays — the paper found set/map structures >10×
+//! slower (§IV-A1). Each triangle is found exactly once because its pivot
+//! edge `(v, w)` occupies exactly one adjacency position, which belongs
+//! to exactly one processor's range and is resident in exactly one chunk.
+//!
+//! Correctness does **not** depend on the small-degree assumption
+//! `d* ≤ cM` — a list split across more than two chunks still has each
+//! position resident exactly once; the assumption only tightens the CPU
+//! bound (§IV-A2). The engine therefore handles over-budget vertices with
+//! no special casing and the property tests exercise `M` far below
+//! `d*_max`.
+
+use std::sync::Arc;
+
+use pdtl_io::{CpuIoTimer, IoStats, MemoryBudget};
+
+use crate::balance::EdgeRange;
+use crate::error::Result;
+use crate::intersect::intersect_adaptive_visit;
+use crate::metrics::WorkerReport;
+use crate::orient::{OrientedCsr, OrientedGraph};
+use crate::sink::TriangleSink;
+
+/// Run MGT over `range` of the oriented graph with the given budget,
+/// reporting triangles to `sink`. One call = one logical processor.
+pub fn mgt_count_range<S: TriangleSink>(
+    og: &OrientedGraph,
+    range: EdgeRange,
+    budget: MemoryBudget,
+    sink: &mut S,
+    stats: Arc<IoStats>,
+) -> Result<WorkerReport> {
+    let timer = CpuIoTimer::start(stats.clone());
+    let io_before = stats.snapshot();
+
+    let offsets = &og.offsets;
+    let n = og.num_vertices();
+    let chunk_cap = budget.chunk_edges();
+    let mut edg: Vec<u32> = Vec::with_capacity(chunk_cap.min(range.len() as usize));
+    let mut ind: Vec<(u32, u32)> = Vec::new();
+    let mut nm: Vec<u32> = Vec::with_capacity(og.d_star_max as usize);
+    let mut triangles = 0u64;
+    let mut cpu_ops = 0u64;
+    let mut iterations = 0u64;
+
+    let mut chunk_reader = og.disk.open_adj(&stats)?;
+    let mut scan_reader = og.disk.open_adj(&stats)?;
+
+    let mut pos = range.start;
+    while pos < range.end {
+        let len = (range.end - pos).min(chunk_cap as u64) as usize;
+        iterations += 1;
+
+        // -- chunk load: edg + ind ------------------------------------
+        edg.clear();
+        chunk_reader.seek_to(pos)?;
+        let got = chunk_reader.read_into(&mut edg, len)?;
+        debug_assert_eq!(got, len, "range must lie within the adjacency file");
+        let chunk_end = pos + len as u64;
+        let vlow = vertex_of(offsets, pos);
+        let vhigh = vertex_of(offsets, chunk_end - 1);
+        ind.clear();
+        ind.resize((vhigh - vlow + 1) as usize, (0, 0));
+        for v in vlow..=vhigh {
+            let seg_start = offsets[v as usize].max(pos);
+            let seg_end = offsets[v as usize + 1].min(chunk_end);
+            if seg_end > seg_start {
+                ind[(v - vlow) as usize] =
+                    ((seg_start - pos) as u32, (seg_end - seg_start) as u32);
+            }
+        }
+        cpu_ops += len as u64 + ind.len() as u64;
+
+        // -- scan pass over all vertices ------------------------------
+        scan_reader.seek_to(0)?;
+        for u in 0..n {
+            let du = (offsets[u as usize + 1] - offsets[u as usize]) as usize;
+            if du == 0 {
+                continue;
+            }
+            nm.clear();
+            scan_reader.read_into(&mut nm, du)?;
+            cpu_ops += du as u64;
+
+            // N+(u): entries of nm with resident out-edges. nm is sorted
+            // by id, so restrict to [vlow, vhigh] first.
+            let lo_i = nm.partition_point(|&x| x < vlow);
+            let hi_i = nm.partition_point(|&x| x <= vhigh);
+            for idx in lo_i..hi_i {
+                let v = nm[idx];
+                let (seg_off, seg_len) = ind[(v - vlow) as usize];
+                if seg_len == 0 {
+                    continue;
+                }
+                let ev = &edg[seg_off as usize..(seg_off + seg_len) as usize];
+                cpu_ops += (nm.len() + ev.len()) as u64;
+                triangles += intersect_adaptive_visit(&nm, ev, |w| sink.emit(u, v, w));
+            }
+        }
+
+        pos = chunk_end;
+    }
+    sink.flush()?;
+
+    let io_after = stats.snapshot();
+    Ok(WorkerReport {
+        worker: 0,
+        range,
+        triangles,
+        iterations,
+        cpu_ops,
+        io: pdtl_io::stats::IoSnapshot {
+            bytes_read: io_after.bytes_read - io_before.bytes_read,
+            bytes_written: io_after.bytes_written - io_before.bytes_written,
+            read_ops: io_after.read_ops - io_before.read_ops,
+            write_ops: io_after.write_ops - io_before.write_ops,
+            seeks: io_after.seeks - io_before.seeks,
+            io_time: io_after.io_time.saturating_sub(io_before.io_time),
+        },
+        breakdown: timer.finish(),
+    })
+}
+
+/// Index of the vertex owning adjacency position `pos` (vertices with
+/// `d* = 0` own no positions and are skipped automatically).
+#[inline]
+fn vertex_of(offsets: &[u64], pos: u64) -> u32 {
+    debug_assert!(pos < *offsets.last().unwrap());
+    (offsets.partition_point(|&o| o <= pos) - 1) as u32
+}
+
+/// Pure in-memory MGT over an [`OrientedCsr`] — identical chunk logic
+/// without the disk, used by tests, baselines and the convenience
+/// counter. Returns (triangles, cpu_ops).
+pub fn mgt_in_memory<S: TriangleSink>(
+    o: &OrientedCsr,
+    budget: MemoryBudget,
+    sink: &mut S,
+) -> (u64, u64) {
+    let n = o.num_vertices();
+    let m_star = o.m_star();
+    let chunk_cap = budget.chunk_edges() as u64;
+    let mut triangles = 0u64;
+    let mut cpu_ops = 0u64;
+    let mut ind: Vec<(u32, u32)> = Vec::new();
+
+    let mut pos = 0u64;
+    while pos < m_star {
+        let chunk_end = (pos + chunk_cap).min(m_star);
+        let vlow = vertex_of(&o.offsets, pos);
+        let vhigh = vertex_of(&o.offsets, chunk_end - 1);
+        ind.clear();
+        ind.resize((vhigh - vlow + 1) as usize, (0, 0));
+        for v in vlow..=vhigh {
+            let seg_start = o.offsets[v as usize].max(pos);
+            let seg_end = o.offsets[v as usize + 1].min(chunk_end);
+            if seg_end > seg_start {
+                ind[(v - vlow) as usize] =
+                    ((seg_start - pos) as u32, (seg_end - seg_start) as u32);
+            }
+        }
+        let edg = &o.adj[pos as usize..chunk_end as usize];
+        cpu_ops += edg.len() as u64 + ind.len() as u64;
+
+        for u in 0..n {
+            let nm = o.out(u);
+            if nm.is_empty() {
+                continue;
+            }
+            cpu_ops += nm.len() as u64;
+            let lo_i = nm.partition_point(|&x| x < vlow);
+            let hi_i = nm.partition_point(|&x| x <= vhigh);
+            for &v in &nm[lo_i..hi_i] {
+                let (seg_off, seg_len) = ind[(v - vlow) as usize];
+                if seg_len == 0 {
+                    continue;
+                }
+                let ev = &edg[seg_off as usize..(seg_off + seg_len) as usize];
+                cpu_ops += (nm.len() + ev.len()) as u64;
+                triangles += intersect_adaptive_visit(nm, ev, |w| sink.emit(u, v, w));
+            }
+        }
+        pos = chunk_end;
+    }
+    let _ = sink.flush();
+    (triangles, cpu_ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orient::{orient_csr, orient_to_disk};
+    use crate::sink::{CollectSink, CountSink};
+    use pdtl_graph::gen::classic::{complete, cycle, grid, wheel};
+    use pdtl_graph::gen::rmat::rmat;
+    use pdtl_graph::verify::triangle_count;
+    use pdtl_graph::{DiskGraph, Graph};
+    use std::path::PathBuf;
+
+    fn tmpbase(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("pdtl-mgt-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    fn disk_oriented(g: &Graph, tag: &str) -> (OrientedGraph, Arc<IoStats>) {
+        let stats = IoStats::new();
+        let dg = DiskGraph::write(g, tmpbase(&format!("{tag}-in")), &stats).unwrap();
+        let (og, _) = orient_to_disk(&dg, tmpbase(&format!("{tag}-or")), 2, &stats).unwrap();
+        (og, stats)
+    }
+
+    fn full_range(og: &OrientedGraph) -> EdgeRange {
+        EdgeRange {
+            start: 0,
+            end: og.m_star(),
+        }
+    }
+
+    #[test]
+    fn counts_fixture_graphs_exactly() {
+        for (g, tag) in [
+            (complete(10).unwrap(), "k10"),
+            (cycle(12).unwrap(), "c12"),
+            (wheel(9).unwrap(), "w9"),
+            (grid(5, 6).unwrap(), "g56"),
+        ] {
+            let expected = triangle_count(&g);
+            let (og, stats) = disk_oriented(&g, tag);
+            let r = mgt_count_range(
+                &og,
+                full_range(&og),
+                MemoryBudget::edges(1 << 16),
+                &mut CountSink,
+                stats,
+            )
+            .unwrap();
+            assert_eq!(r.triangles, expected, "{tag}");
+        }
+    }
+
+    #[test]
+    fn counts_match_oracle_on_rmat_across_budgets() {
+        let g = rmat(8, 11).unwrap();
+        let expected = triangle_count(&g);
+        let (og, stats) = disk_oriented(&g, "budgets");
+        // budgets from "everything fits" down to pathologically tiny,
+        // including below d*_max (small-degree assumption violated).
+        for edges in [1 << 20, 4096, 256, 32, 8, 2] {
+            let r = mgt_count_range(
+                &og,
+                full_range(&og),
+                MemoryBudget::edges(edges),
+                &mut CountSink,
+                stats.clone(),
+            )
+            .unwrap();
+            assert_eq!(r.triangles, expected, "budget {edges}");
+            assert_eq!(
+                r.iterations,
+                MemoryBudget::edges(edges).iterations_for(og.m_star())
+            );
+        }
+    }
+
+    #[test]
+    fn ranges_partition_the_count() {
+        let g = rmat(8, 12).unwrap();
+        let expected = triangle_count(&g);
+        let (og, stats) = disk_oriented(&g, "ranges");
+        let m = og.m_star();
+        for parts in [2u64, 3, 7] {
+            let mut total = 0u64;
+            for i in 0..parts {
+                let range = EdgeRange {
+                    start: m * i / parts,
+                    end: m * (i + 1) / parts,
+                };
+                let r = mgt_count_range(
+                    &og,
+                    range,
+                    MemoryBudget::edges(512),
+                    &mut CountSink,
+                    stats.clone(),
+                )
+                .unwrap();
+                total += r.triangles;
+            }
+            assert_eq!(total, expected, "parts {parts}");
+        }
+    }
+
+    #[test]
+    fn listing_matches_oracle_set() {
+        let g = rmat(7, 13).unwrap();
+        let (og, stats) = disk_oriented(&g, "listing");
+        let mut sink = CollectSink::default();
+        let r = mgt_count_range(
+            &og,
+            full_range(&og),
+            MemoryBudget::edges(128),
+            &mut sink,
+            stats,
+        )
+        .unwrap();
+        assert_eq!(r.triangles as usize, sink.triangles.len());
+
+        // canonicalise (u,v,w) -> sorted ids and compare with oracle
+        let mut got: Vec<(u32, u32, u32)> = sink
+            .triangles
+            .iter()
+            .map(|&(a, b, c)| {
+                let mut t = [a, b, c];
+                t.sort_unstable();
+                (t[0], t[1], t[2])
+            })
+            .collect();
+        got.sort_unstable();
+        let mut expected = pdtl_graph::verify::triangle_list(&g);
+        expected.sort_unstable();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn each_triangle_emitted_once_with_cone_first() {
+        let g = rmat(6, 14).unwrap();
+        let (og, stats) = disk_oriented(&g, "cone");
+        let mut sink = CollectSink::default();
+        mgt_count_range(
+            &og,
+            full_range(&og),
+            MemoryBudget::edges(64),
+            &mut sink,
+            stats,
+        )
+        .unwrap();
+        let degrees = g.degrees();
+        let ord = crate::order::DegreeOrder::new(&degrees);
+        let mut seen = std::collections::HashSet::new();
+        for &(u, v, w) in &sink.triangles {
+            assert!(ord.precedes(u, v) && ord.precedes(v, w), "u ≺ v ≺ w");
+            let mut t = [u, v, w];
+            t.sort_unstable();
+            assert!(seen.insert(t), "duplicate triangle {t:?}");
+        }
+    }
+
+    #[test]
+    fn empty_range_and_empty_graph() {
+        let g = rmat(6, 15).unwrap();
+        let (og, stats) = disk_oriented(&g, "empty-range");
+        let r = mgt_count_range(
+            &og,
+            EdgeRange { start: 5, end: 5 },
+            MemoryBudget::edges(64),
+            &mut CountSink,
+            stats,
+        )
+        .unwrap();
+        assert_eq!(r.triangles, 0);
+        assert_eq!(r.iterations, 0);
+
+        let g = Graph::empty(4);
+        let (og, stats) = disk_oriented(&g, "empty-graph");
+        let r = mgt_count_range(
+            &og,
+            full_range(&og),
+            MemoryBudget::edges(64),
+            &mut CountSink,
+            stats,
+        )
+        .unwrap();
+        assert_eq!(r.triangles, 0);
+    }
+
+    #[test]
+    fn io_grows_with_iterations() {
+        // Theorem IV.2: h = ceil(m*/cM) passes over the graph.
+        let g = rmat(8, 16).unwrap();
+        let (og, stats) = disk_oriented(&g, "iogrow");
+        let run = |edges: usize| {
+            let s = IoStats::new();
+            let og2 = OrientedGraph {
+                disk: og.disk.clone(),
+                offsets: og.offsets.clone(),
+                d_star_max: og.d_star_max,
+                orig_degrees: None,
+            };
+            let r = mgt_count_range(
+                &og2,
+                EdgeRange {
+                    start: 0,
+                    end: og.m_star(),
+                },
+                MemoryBudget::edges(edges),
+                &mut CountSink,
+                s,
+            )
+            .unwrap();
+            (r.iterations, r.io.bytes_read)
+        };
+        let _ = &stats;
+        let (it_big, io_big) = run(1 << 20);
+        let (it_small, io_small) = run(256);
+        assert_eq!(it_big, 1);
+        assert!(it_small > it_big);
+        assert!(
+            io_small > 2 * io_big,
+            "more iterations must re-scan the graph: {io_small} vs {io_big}"
+        );
+    }
+
+    #[test]
+    fn in_memory_matches_disk_engine() {
+        let g = rmat(8, 17).unwrap();
+        let o = orient_csr(&g);
+        for edges in [1 << 20, 512, 16] {
+            let (t, ops) = mgt_in_memory(&o, MemoryBudget::edges(edges), &mut CountSink);
+            assert_eq!(t, triangle_count(&g), "budget {edges}");
+            assert!(ops > 0);
+        }
+    }
+
+    #[test]
+    fn cpu_ops_respect_arboricity_flavor() {
+        // On the (planar) grid the intersection work must stay linear-ish
+        // in |E|: cpu_ops = O(|E|) with a small constant when M is large.
+        let g = grid(40, 40).unwrap();
+        let o = orient_csr(&g);
+        let (_, ops) = mgt_in_memory(&o, MemoryBudget::edges(1 << 22), &mut CountSink);
+        let m = g.num_edges();
+        assert!(
+            ops < 20 * m,
+            "planar graph: ops {ops} should be O(|E|) = O({m})"
+        );
+    }
+
+    #[test]
+    fn vertex_of_skips_zero_degree_vertices() {
+        // offsets: v0 has 2, v1 has 0, v2 has 3
+        let offsets = [0u64, 2, 2, 5];
+        assert_eq!(vertex_of(&offsets, 0), 0);
+        assert_eq!(vertex_of(&offsets, 1), 0);
+        assert_eq!(vertex_of(&offsets, 2), 2);
+        assert_eq!(vertex_of(&offsets, 4), 2);
+    }
+}

@@ -1,0 +1,478 @@
+//! Degree-based orientation (sequential and multicore).
+//!
+//! Orientation rewrites the bidirectional input into `G* = (V, E*)` where
+//! `(u, v) ∈ E*` iff `{u, v} ∈ E` and `u ≺ v` under the degree order.
+//! Filtering each (sorted) adjacency list preserves its sortedness, so
+//! the output is again a valid PDTL-format graph — with exactly `|E|`
+//! directed edges.
+//!
+//! The multicore path follows Section IV-B1: *"the master reads the
+//! entire degree array into memory (provided |V| < PM), and each core
+//! performs the orientation on a contiguous set of edges, which are then
+//! concatenated."* Here each worker filters a contiguous vertex range of
+//! the adjacency file into a temporary shard; the master concatenates the
+//! shards and writes the oriented degree file. Orientation costs
+//! `O(scan(|E|))` I/Os and `O(|E|)` CPU (Theorem IV.2).
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use pdtl_graph::disk::offsets_from_degrees;
+use pdtl_graph::{DiskGraph, Graph};
+use pdtl_io::{CpuIoTimer, IoStats, U32Reader, U32Writer};
+use rayon::prelude::*;
+
+use crate::error::Result;
+use crate::metrics::PhaseReport;
+use crate::order::DegreeOrder;
+
+/// An oriented graph held in memory (used by baselines and the
+/// in-memory MGT variant).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrientedCsr {
+    /// Oriented CSR offsets (`n + 1`).
+    pub offsets: Vec<u64>,
+    /// Oriented adjacency (out-neighbours, sorted by id).
+    pub adj: Vec<u32>,
+    /// Original (undirected) degrees.
+    pub orig_degrees: Vec<u32>,
+    /// Maximum oriented out-degree `d*_max`.
+    pub d_star_max: u32,
+}
+
+impl OrientedCsr {
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> u32 {
+        (self.offsets.len() - 1) as u32
+    }
+
+    /// `|E*| = |E|`.
+    pub fn m_star(&self) -> u64 {
+        *self.offsets.last().unwrap()
+    }
+
+    /// Oriented out-degree of `v`.
+    pub fn d_star(&self, v: u32) -> u32 {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as u32
+    }
+
+    /// Oriented out-neighbours of `v`.
+    pub fn out(&self, v: u32) -> &[u32] {
+        &self.adj[self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize]
+    }
+
+    /// Post-orientation in-degrees `d(v) - d*(v)` — the load-balancing
+    /// weights of Section IV-B1.
+    pub fn in_degrees(&self) -> Vec<u32> {
+        (0..self.num_vertices())
+            .map(|v| self.orig_degrees[v as usize] - self.d_star(v))
+            .collect()
+    }
+}
+
+/// Orient an in-memory graph.
+pub fn orient_csr(g: &Graph) -> OrientedCsr {
+    let degrees = g.degrees();
+    let ord = DegreeOrder::new(&degrees);
+    let n = g.num_vertices();
+    let mut offsets = Vec::with_capacity(n as usize + 1);
+    offsets.push(0u64);
+    let mut adj = Vec::with_capacity(g.num_edges() as usize);
+    let mut d_star_max = 0u32;
+    for u in 0..n {
+        let before = adj.len();
+        adj.extend(g.neighbors(u).iter().copied().filter(|&v| ord.precedes(u, v)));
+        let d = (adj.len() - before) as u32;
+        d_star_max = d_star_max.max(d);
+        offsets.push(adj.len() as u64);
+    }
+    OrientedCsr {
+        offsets,
+        adj,
+        orig_degrees: degrees,
+        d_star_max,
+    }
+}
+
+/// An oriented graph stored on disk in PDTL format, plus the in-memory
+/// metadata every MGT worker needs (`offsets`, `d*_max`).
+#[derive(Debug, Clone)]
+pub struct OrientedGraph {
+    /// The oriented `.deg`/`.adj` pair.
+    pub disk: DiskGraph,
+    /// Oriented CSR offsets (`n + 1`), the in-memory degree index of
+    /// Section IV-A1 (assumes `|V| < PM`, as the paper does).
+    pub offsets: Vec<u64>,
+    /// Maximum oriented out-degree, sizes the `nm`/`nmp` scratch arrays.
+    pub d_star_max: u32,
+    /// Original undirected degrees; present when produced by
+    /// [`orient_to_disk`], absent when reopened from disk (only the
+    /// master needs them, for load balancing).
+    pub orig_degrees: Option<Vec<u32>>,
+}
+
+impl OrientedGraph {
+    /// `|E*|`.
+    pub fn m_star(&self) -> u64 {
+        *self.offsets.last().unwrap()
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> u32 {
+        (self.offsets.len() - 1) as u32
+    }
+
+    /// Oriented out-degree of `v`.
+    pub fn d_star(&self, v: u32) -> u32 {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as u32
+    }
+
+    /// Post-orientation in-degrees; requires `orig_degrees`.
+    pub fn in_degrees(&self) -> Option<Vec<u32>> {
+        let orig = self.orig_degrees.as_ref()?;
+        Some(
+            (0..self.num_vertices())
+                .map(|v| orig[v as usize] - self.d_star(v))
+                .collect(),
+        )
+    }
+
+    /// Reopen an oriented graph previously written to `base` (e.g. a
+    /// replica copied to another node). Rebuilds offsets and `d*_max`
+    /// from the oriented degree file.
+    pub fn open(base: impl AsRef<Path>, stats: &Arc<IoStats>) -> Result<Self> {
+        let disk = DiskGraph::open(base, stats)?;
+        let degrees = disk.load_degrees(stats)?;
+        let offsets = offsets_from_degrees(&degrees);
+        let d_star_max = degrees.iter().copied().max().unwrap_or(0);
+        Ok(Self {
+            disk,
+            offsets,
+            d_star_max,
+            orig_degrees: None,
+        })
+    }
+}
+
+/// Orient `input` (an undirected PDTL-format graph on disk) into
+/// `out_base{.deg,.adj}` using `threads` cores.
+///
+/// Returns the oriented graph and a [`PhaseReport`] with the phase's wall
+/// time, CPU/I-O split and counted work (this is the quantity Table II
+/// and Figure 2 report).
+pub fn orient_to_disk(
+    input: &DiskGraph,
+    out_base: impl AsRef<Path>,
+    threads: usize,
+    stats: &Arc<IoStats>,
+) -> Result<(OrientedGraph, PhaseReport)> {
+    let threads = threads.max(1);
+    let out_base = out_base.as_ref().to_path_buf();
+    let timer = CpuIoTimer::start(stats.clone());
+    let before = stats.snapshot();
+
+    // Per Section IV-B1 the degree array is read once into memory.
+    let degrees = input.load_degrees(stats)?;
+    let n = degrees.len() as u32;
+    let offsets = offsets_from_degrees(&degrees);
+    let total = *offsets.last().unwrap();
+
+    // Contiguous vertex ranges with ~equal adjacency volume per core.
+    let bounds = vertex_partition(&offsets, threads);
+
+    struct Shard {
+        path: PathBuf,
+        d_star: Vec<u32>,
+        d_star_max: u32,
+        written: u64,
+    }
+
+    let shards: Vec<Result<Shard>> = bounds
+        .par_iter()
+        .enumerate()
+        .map(|(i, &(v_begin, v_end))| -> Result<Shard> {
+            let ord = DegreeOrder::new(&degrees);
+            let mut shard_path = out_base.as_os_str().to_os_string();
+            shard_path.push(format!(".shard{i}"));
+            let shard_path = PathBuf::from(shard_path);
+            let mut reader = input.open_adj(stats)?;
+            reader.seek_to(offsets[v_begin as usize])?;
+            let mut writer = U32Writer::create(&shard_path, stats.clone())?;
+            let mut d_star = Vec::with_capacity((v_end - v_begin) as usize);
+            let mut d_star_max = 0u32;
+            let mut nbuf: Vec<u32> = Vec::new();
+            for u in v_begin..v_end {
+                let du = (offsets[u as usize + 1] - offsets[u as usize]) as usize;
+                nbuf.clear();
+                reader.read_into(&mut nbuf, du)?;
+                let mut kept = 0u32;
+                for &v in &nbuf {
+                    if ord.precedes(u, v) {
+                        writer.write(v)?;
+                        kept += 1;
+                    }
+                }
+                d_star_max = d_star_max.max(kept);
+                d_star.push(kept);
+            }
+            let written = writer.finish()?;
+            Ok(Shard {
+                path: shard_path,
+                d_star,
+                d_star_max,
+                written,
+            })
+        })
+        .collect();
+
+    // Assemble: oriented degree file + concatenated adjacency shards.
+    let mut d_star_all = Vec::with_capacity(n as usize);
+    let mut d_star_max = 0u32;
+    let mut shard_list = Vec::with_capacity(shards.len());
+    for s in shards {
+        let s = s?;
+        d_star_all.extend_from_slice(&s.d_star);
+        d_star_max = d_star_max.max(s.d_star_max);
+        shard_list.push(s);
+    }
+    debug_assert_eq!(d_star_all.len(), n as usize);
+
+    let mut deg_path = out_base.as_os_str().to_os_string();
+    deg_path.push(".deg");
+    let mut degw = U32Writer::create(PathBuf::from(deg_path), stats.clone())?;
+    degw.write_all(&d_star_all)?;
+    degw.finish()?;
+
+    let mut adj_path = out_base.as_os_str().to_os_string();
+    adj_path.push(".adj");
+    let mut adjw = U32Writer::create(PathBuf::from(adj_path), stats.clone())?;
+    let mut buf: Vec<u32> = Vec::new();
+    for s in &shard_list {
+        let mut r = U32Reader::open(&s.path, stats.clone())?;
+        let mut remaining = s.written as usize;
+        while remaining > 0 {
+            buf.clear();
+            let take = remaining.min(16 * 1024);
+            let got = r.read_into(&mut buf, take)?;
+            adjw.write_all(&buf)?;
+            remaining -= got;
+        }
+        std::fs::remove_file(&s.path)
+            .map_err(|e| pdtl_io::IoError::os("remove", &s.path, e))?;
+    }
+    adjw.finish()?;
+
+    let disk = DiskGraph::open(&out_base, stats)?;
+    let oriented_offsets = offsets_from_degrees(&d_star_all);
+    let report = PhaseReport {
+        breakdown: timer.finish(),
+        io: diff_snapshot(&before, &stats.snapshot()),
+        // Each of the 2|E| adjacency entries is examined exactly once.
+        cpu_ops: total + n as u64,
+        threads,
+    };
+    Ok((
+        OrientedGraph {
+            disk,
+            offsets: oriented_offsets,
+            d_star_max,
+            orig_degrees: Some(degrees),
+        },
+        report,
+    ))
+}
+
+/// Split vertices into `parts` contiguous ranges with roughly equal
+/// adjacency volume. Returns `(v_begin, v_end)` pairs covering `0..n`.
+pub fn vertex_partition(offsets: &[u64], parts: usize) -> Vec<(u32, u32)> {
+    let n = (offsets.len() - 1) as u32;
+    let total = *offsets.last().unwrap();
+    let parts = parts.max(1);
+    let mut bounds = Vec::with_capacity(parts);
+    let mut begin = 0u32;
+    for i in 0..parts {
+        let target = total * (i as u64 + 1) / parts as u64;
+        let mut end = offsets.partition_point(|&o| o <= target) as u32 - 1;
+        end = end.clamp(begin, n);
+        if i == parts - 1 {
+            end = n;
+        }
+        bounds.push((begin, end));
+        begin = end;
+    }
+    bounds
+}
+
+fn diff_snapshot(
+    before: &pdtl_io::stats::IoSnapshot,
+    after: &pdtl_io::stats::IoSnapshot,
+) -> pdtl_io::stats::IoSnapshot {
+    pdtl_io::stats::IoSnapshot {
+        bytes_read: after.bytes_read - before.bytes_read,
+        bytes_written: after.bytes_written - before.bytes_written,
+        read_ops: after.read_ops - before.read_ops,
+        write_ops: after.write_ops - before.write_ops,
+        seeks: after.seeks - before.seeks,
+        io_time: after.io_time.saturating_sub(before.io_time),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdtl_graph::gen::classic::{complete, star, wheel};
+    use pdtl_graph::gen::rmat::rmat;
+
+    fn tmpbase(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("pdtl-orient-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn csr_orientation_preserves_edge_count() {
+        for g in [complete(8).unwrap(), wheel(9).unwrap(), rmat(7, 1).unwrap()] {
+            let o = orient_csr(&g);
+            assert_eq!(o.m_star(), g.num_edges(), "|E*| = |E|");
+        }
+    }
+
+    #[test]
+    fn csr_orientation_is_a_dag_under_order() {
+        let g = rmat(7, 3).unwrap();
+        let o = orient_csr(&g);
+        let ord = DegreeOrder::new(&o.orig_degrees);
+        for u in 0..o.num_vertices() {
+            for &v in o.out(u) {
+                assert!(ord.precedes(u, v), "every arc respects ≺");
+            }
+        }
+    }
+
+    #[test]
+    fn csr_orientation_lists_stay_sorted() {
+        let g = rmat(7, 4).unwrap();
+        let o = orient_csr(&g);
+        for u in 0..o.num_vertices() {
+            let out = o.out(u);
+            assert!(out.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn in_degrees_complement_out_degrees() {
+        let g = rmat(6, 5).unwrap();
+        let o = orient_csr(&g);
+        let ins = o.in_degrees();
+        for v in 0..o.num_vertices() {
+            assert_eq!(
+                ins[v as usize] + o.d_star(v),
+                o.orig_degrees[v as usize],
+                "d = d* + in"
+            );
+        }
+        let total_in: u64 = ins.iter().map(|&x| x as u64).sum();
+        assert_eq!(total_in, g.num_edges());
+    }
+
+    #[test]
+    fn star_orients_towards_hub() {
+        // In a star all leaves have degree 1 < hub degree, so every edge
+        // points leaf -> hub and the hub has d* = 0.
+        let g = star(10).unwrap();
+        let o = orient_csr(&g);
+        assert_eq!(o.d_star(0), 0);
+        for v in 1..10 {
+            assert_eq!(o.d_star(v), 1);
+        }
+        assert_eq!(o.d_star_max, 1);
+    }
+
+    #[test]
+    fn disk_orientation_matches_csr() {
+        let g = rmat(8, 6).unwrap();
+        let stats = IoStats::new();
+        let dg = DiskGraph::write(&g, tmpbase("dm-in"), &stats).unwrap();
+        for threads in [1usize, 3, 8] {
+            let (og, report) =
+                orient_to_disk(&dg, tmpbase(&format!("dm-out{threads}")), threads, &stats)
+                    .unwrap();
+            let expect = orient_csr(&g);
+            assert_eq!(og.offsets, expect.offsets, "threads={threads}");
+            assert_eq!(og.d_star_max, expect.d_star_max);
+            let (offsets, adj) = og.disk.load_parts(&stats).unwrap();
+            assert_eq!(offsets, expect.offsets);
+            assert_eq!(adj, expect.adj);
+            assert!(report.cpu_ops > 0);
+            assert_eq!(report.threads, threads);
+        }
+    }
+
+    #[test]
+    fn disk_orientation_counts_io() {
+        let g = rmat(7, 7).unwrap();
+        let stats = IoStats::new();
+        let dg = DiskGraph::write(&g, tmpbase("io-in"), &stats).unwrap();
+        stats.reset();
+        let (_og, report) = orient_to_disk(&dg, tmpbase("io-out"), 2, &stats).unwrap();
+        // Reads at least the degree file + full adjacency; writes at
+        // least the oriented pair (+ shards).
+        assert!(report.io.bytes_read >= dg.size_bytes());
+        assert!(report.io.bytes_written >= (g.num_edges() + g.num_vertices() as u64) * 4);
+    }
+
+    #[test]
+    fn reopen_from_disk_recovers_metadata() {
+        let g = rmat(6, 8).unwrap();
+        let stats = IoStats::new();
+        let dg = DiskGraph::write(&g, tmpbase("ro-in"), &stats).unwrap();
+        let base = tmpbase("ro-out");
+        let (og, _) = orient_to_disk(&dg, &base, 2, &stats).unwrap();
+        let reopened = OrientedGraph::open(&base, &stats).unwrap();
+        assert_eq!(reopened.offsets, og.offsets);
+        assert_eq!(reopened.d_star_max, og.d_star_max);
+        assert!(reopened.orig_degrees.is_none());
+        assert!(reopened.in_degrees().is_none());
+    }
+
+    #[test]
+    fn vertex_partition_covers_and_is_contiguous() {
+        let g = rmat(7, 9).unwrap();
+        let o = orient_csr(&g);
+        for parts in [1usize, 2, 5, 16] {
+            let bounds = vertex_partition(&o.offsets, parts);
+            assert_eq!(bounds.len(), parts);
+            assert_eq!(bounds[0].0, 0);
+            assert_eq!(bounds[parts - 1].1, o.num_vertices());
+            for w in bounds.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "contiguous");
+            }
+        }
+    }
+
+    #[test]
+    fn vertex_partition_balances_volume() {
+        let g = rmat(9, 10).unwrap();
+        let deg = g.degrees();
+        let offsets = offsets_from_degrees(&deg);
+        let bounds = vertex_partition(&offsets, 4);
+        let total = *offsets.last().unwrap() as f64;
+        for &(b, e) in &bounds {
+            let vol = (offsets[e as usize] - offsets[b as usize]) as f64;
+            assert!(
+                vol < 0.5 * total,
+                "one part holds {vol} of {total}: too imbalanced"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_graph_orients() {
+        let g = Graph::empty(10);
+        let stats = IoStats::new();
+        let dg = DiskGraph::write(&g, tmpbase("empty-in"), &stats).unwrap();
+        let (og, _) = orient_to_disk(&dg, tmpbase("empty-out"), 2, &stats).unwrap();
+        assert_eq!(og.m_star(), 0);
+        assert_eq!(og.d_star_max, 0);
+    }
+}

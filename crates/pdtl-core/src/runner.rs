@@ -1,0 +1,303 @@
+//! The single-machine multicore runner.
+//!
+//! Wires the pipeline together for one machine with `P` logical
+//! processors (the paper's Local Multicore configuration): parallel
+//! orientation → load balancing → one MGT worker per core over its
+//! contiguous range → atomic aggregation. Workers are long-lived
+//! `std::thread`s, each owning its file handles, scratch arrays, I/O
+//! counters and sink — per-worker state, not data-parallel iteration,
+//! which is why this uses scoped threads rather than rayon.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use pdtl_graph::{DiskGraph, Graph};
+use pdtl_io::{IoStats, MemoryBudget};
+
+use crate::balance::{split_ranges, BalanceStrategy};
+use crate::error::{CoreError, Result};
+use crate::metrics::RunReport;
+use crate::mgt::mgt_count_range;
+use crate::orient::orient_to_disk;
+use crate::sink::{CollectSink, CountSink};
+
+/// Configuration of a single-machine run.
+#[derive(Debug, Clone)]
+pub struct LocalConfig {
+    /// Logical processors `P`.
+    pub cores: usize,
+    /// Memory budget per processor (the paper's `M`).
+    pub budget: MemoryBudget,
+    /// Range-splitting strategy.
+    pub balance: BalanceStrategy,
+}
+
+impl Default for LocalConfig {
+    fn default() -> Self {
+        Self {
+            cores: 4,
+            budget: MemoryBudget::default(),
+            balance: BalanceStrategy::InDegree,
+        }
+    }
+}
+
+/// Single-machine PDTL runner.
+#[derive(Debug, Clone)]
+pub struct LocalRunner {
+    config: LocalConfig,
+}
+
+impl LocalRunner {
+    /// Build a runner from `config`.
+    pub fn new(config: LocalConfig) -> Result<Self> {
+        if config.cores == 0 {
+            return Err(CoreError::Config("cores must be >= 1".into()));
+        }
+        Ok(Self { config })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &LocalConfig {
+        &self.config
+    }
+
+    /// Count all triangles of the undirected PDTL-format graph at
+    /// `input`, using `work_dir` for the oriented copy.
+    pub fn run(&self, input: &DiskGraph, work_dir: &Path) -> Result<RunReport> {
+        self.run_with_sinks(input, work_dir, || CountSink)
+            .map(|(report, _)| report)
+    }
+
+    /// Count and also *list* triangles: returns the report plus each
+    /// worker's collected triples (cone vertex first).
+    #[allow(clippy::type_complexity)]
+    pub fn run_listing(
+        &self,
+        input: &DiskGraph,
+        work_dir: &Path,
+    ) -> Result<(RunReport, Vec<(u32, u32, u32)>)> {
+        let (report, sinks) = self.run_with_sinks(input, work_dir, CollectSink::default)?;
+        let mut all = Vec::new();
+        for s in sinks {
+            all.extend(s.triangles);
+        }
+        Ok((report, all))
+    }
+
+    /// Generic driver: one sink per worker, built by `make_sink`.
+    pub fn run_with_sinks<S, F>(
+        &self,
+        input: &DiskGraph,
+        work_dir: &Path,
+        make_sink: F,
+    ) -> Result<(RunReport, Vec<S>)>
+    where
+        S: crate::sink::TriangleSink + Send,
+        F: Fn() -> S,
+    {
+        std::fs::create_dir_all(work_dir)
+            .map_err(|e| pdtl_io::IoError::os("mkdir", work_dir, e))?;
+        let wall_start = Instant::now();
+        let master_stats = IoStats::new();
+
+        // Phase 1: multicore orientation (Figure 2).
+        let oriented_base = work_dir.join("oriented");
+        let (og, orientation) =
+            orient_to_disk(input, &oriented_base, self.config.cores, &master_stats)?;
+
+        // Phase 2: load balancing (Section IV-B1).
+        let in_degrees = og
+            .in_degrees()
+            .expect("orient_to_disk always records original degrees");
+        let (ranges, balancing) = split_ranges(
+            &og.offsets,
+            &in_degrees,
+            self.config.cores,
+            self.config.balance,
+        );
+
+        // Phase 3: one MGT worker per core.
+        let budget = self.config.budget;
+        let og_ref = &og;
+        let mut results: Vec<Option<Result<(crate::metrics::WorkerReport, S)>>> =
+            (0..ranges.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (i, &range) in ranges.iter().enumerate() {
+                let mut sink = make_sink();
+                handles.push(scope.spawn(move || {
+                    let stats = IoStats::new();
+                    mgt_count_range(og_ref, range, budget, &mut sink, stats)
+                        .map(|mut r| {
+                            r.worker = i;
+                            (r, sink)
+                        })
+                }));
+            }
+            for (i, h) in handles.into_iter().enumerate() {
+                results[i] = Some(h.join().unwrap_or_else(|_| {
+                    Err(CoreError::WorkerPanic(format!("worker {i}")))
+                }));
+            }
+        });
+
+        let mut workers = Vec::with_capacity(results.len());
+        let mut sinks = Vec::with_capacity(results.len());
+        let mut triangles = 0u64;
+        for r in results.into_iter().flatten() {
+            let (w, s) = r?;
+            triangles += w.triangles;
+            workers.push(w);
+            sinks.push(s);
+        }
+
+        Ok((
+            RunReport {
+                triangles,
+                orientation,
+                balancing,
+                workers,
+                wall: wall_start.elapsed(),
+            },
+            sinks,
+        ))
+    }
+}
+
+/// Convenience: count the triangles of an in-memory [`Graph`] with the
+/// full PDTL disk pipeline in a temporary directory.
+pub fn count_triangles(g: &Graph) -> Result<RunReport> {
+    count_triangles_with(g, LocalConfig::default())
+}
+
+/// [`count_triangles`] with an explicit configuration.
+pub fn count_triangles_with(g: &Graph, config: LocalConfig) -> Result<RunReport> {
+    static UNIQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let id = UNIQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let dir: PathBuf = std::env::temp_dir().join(format!(
+        "pdtl-count-{}-{id}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).map_err(|e| pdtl_io::IoError::os("mkdir", &dir, e))?;
+    let stats = IoStats::new();
+    let input = DiskGraph::write(g, dir.join("input"), &stats)?;
+    let report = LocalRunner::new(config)?.run(&input, &dir)?;
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdtl_graph::gen::classic::{complete, wheel};
+    use pdtl_graph::gen::rmat::rmat;
+    use pdtl_graph::verify::triangle_count;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("pdtl-runner-tests")
+            .join(format!("{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn counts_match_oracle_across_cores() {
+        let g = rmat(8, 21).unwrap();
+        let expected = triangle_count(&g);
+        let stats = IoStats::new();
+        let input = DiskGraph::write(&g, tmpdir("cores").join("g"), &stats).unwrap();
+        for cores in [1usize, 2, 3, 8] {
+            let runner = LocalRunner::new(LocalConfig {
+                cores,
+                budget: MemoryBudget::edges(2048),
+                balance: BalanceStrategy::InDegree,
+            })
+            .unwrap();
+            let report = runner.run(&input, &tmpdir(&format!("cores-{cores}"))).unwrap();
+            assert_eq!(report.triangles, expected, "cores {cores}");
+            assert_eq!(report.workers.len(), cores);
+        }
+    }
+
+    #[test]
+    fn both_balance_strategies_agree() {
+        let g = rmat(8, 22).unwrap();
+        let expected = triangle_count(&g);
+        let stats = IoStats::new();
+        let input = DiskGraph::write(&g, tmpdir("bal").join("g"), &stats).unwrap();
+        for strategy in [BalanceStrategy::EqualEdges, BalanceStrategy::InDegree] {
+            let runner = LocalRunner::new(LocalConfig {
+                cores: 4,
+                budget: MemoryBudget::edges(1024),
+                balance: strategy,
+            })
+            .unwrap();
+            let report = runner
+                .run(&input, &tmpdir(&format!("bal-{strategy:?}")))
+                .unwrap();
+            assert_eq!(report.triangles, expected, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn listing_collects_all_triangles() {
+        let g = wheel(20).unwrap();
+        let stats = IoStats::new();
+        let input = DiskGraph::write(&g, tmpdir("list").join("g"), &stats).unwrap();
+        let runner = LocalRunner::new(LocalConfig {
+            cores: 3,
+            budget: MemoryBudget::edges(16),
+            balance: BalanceStrategy::InDegree,
+        })
+        .unwrap();
+        let (report, triangles) = runner.run_listing(&input, &tmpdir("list-run")).unwrap();
+        assert_eq!(report.triangles, 19);
+        assert_eq!(triangles.len(), 19);
+        let mut canon: Vec<_> = triangles
+            .iter()
+            .map(|&(a, b, c)| {
+                let mut t = [a, b, c];
+                t.sort_unstable();
+                (t[0], t[1], t[2])
+            })
+            .collect();
+        canon.sort_unstable();
+        canon.dedup();
+        assert_eq!(canon.len(), 19, "no duplicates across workers");
+    }
+
+    #[test]
+    fn zero_cores_rejected() {
+        let cfg = LocalConfig {
+            cores: 0,
+            ..Default::default()
+        };
+        assert!(LocalRunner::new(cfg).is_err());
+    }
+
+    #[test]
+    fn count_triangles_convenience() {
+        let g = complete(12).unwrap();
+        let report = count_triangles(&g).unwrap();
+        assert_eq!(report.triangles, 220);
+        assert!(report.wall > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn report_workers_cover_all_positions() {
+        let g = rmat(7, 23).unwrap();
+        let report = count_triangles_with(
+            &g,
+            LocalConfig {
+                cores: 5,
+                budget: MemoryBudget::edges(256),
+                balance: BalanceStrategy::InDegree,
+            },
+        )
+        .unwrap();
+        let covered: u64 = report.workers.iter().map(|w| w.range.len()).sum();
+        assert_eq!(covered, g.num_edges(), "|E*| positions covered exactly");
+    }
+}

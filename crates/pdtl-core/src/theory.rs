@@ -1,0 +1,129 @@
+//! The paper's complexity bounds as executable formulas.
+//!
+//! Theorem IV.2 (MGT) and Theorem IV.3 (PDTL) give closed-form bounds on
+//! I/O, CPU and network work. Encoding them lets the test suite assert
+//! that *measured* work stays within a constant of the *proven* bound —
+//! the strongest reproducibility check available for an asymptotic claim
+//! — and lets experiments print predicted-vs-measured columns.
+
+/// Upper bound on arboricity: `α ≤ ⌈√|E|⌉` (Theorem III.4(1)).
+pub fn arboricity_upper_bound(m: u64) -> u64 {
+    (m as f64).sqrt().ceil() as u64
+}
+
+/// Theorem IV.2 (I/O): `O(|E|² / (M·B) + T/B)` — expressed in bytes with
+/// 4-byte edge entries so it can be compared against counted bytes.
+/// Returns the bound's dominant terms (not the constant).
+pub fn mgt_io_bound_bytes(m: u64, mem_edges: u64, t_listed: u64) -> u64 {
+    let h = m.div_ceil(mem_edges.max(1)); // graph scans
+    h * m * 4 + t_listed * 12
+}
+
+/// Theorem IV.2 (CPU): `O(|E|²/M + α|E|)` in elementary operations.
+pub fn mgt_cpu_bound_ops(m: u64, mem_edges: u64, alpha: u64) -> u64 {
+    let h = m.div_ceil(mem_edges.max(1));
+    h * m + alpha * m
+}
+
+/// Theorem IV.3 (total I/O over all cores):
+/// `O(NP·|E|/B + |E|²/(M·B) + T/B)`, in bytes.
+pub fn pdtl_io_bound_bytes(nodes: u64, cores: u64, m: u64, mem_edges: u64, t_listed: u64) -> u64 {
+    nodes * cores * m * 4 + mgt_io_bound_bytes(m, mem_edges, t_listed)
+}
+
+/// Theorem IV.3 (total CPU over all cores):
+/// `O(NP·|E| + |E|²/M + α|E|)`.
+pub fn pdtl_cpu_bound_ops(nodes: u64, cores: u64, m: u64, mem_edges: u64, alpha: u64) -> u64 {
+    nodes * cores * m + mgt_cpu_bound_ops(m, mem_edges, alpha)
+}
+
+/// Theorem IV.3 (network): `Θ(NP + N|E| + T)` in bytes (edge entries are
+/// 4 bytes, triangles 12, per-processor configuration ~64).
+pub fn pdtl_network_bound_bytes(nodes: u64, cores: u64, m: u64, t_listed: u64) -> u64 {
+    nodes * cores * 64 + nodes * m * 4 + t_listed * 12
+}
+
+/// The ordering lemma (Theorem IV.1): `Σ_v d(v)·d*(v) = O(α|E|)`.
+/// Computes the left-hand side exactly from the two degree arrays.
+pub fn ordering_sum(degrees: &[u32], d_star: &[u32]) -> u64 {
+    degrees
+        .iter()
+        .zip(d_star)
+        .map(|(&d, &ds)| d as u64 * ds as u64)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orient::orient_csr;
+    use pdtl_graph::gen::classic::{complete, grid};
+    use pdtl_graph::gen::rmat::rmat;
+
+    #[test]
+    fn arboricity_bound_monotone() {
+        assert_eq!(arboricity_upper_bound(0), 0);
+        assert_eq!(arboricity_upper_bound(1), 1);
+        assert_eq!(arboricity_upper_bound(100), 10);
+        assert_eq!(arboricity_upper_bound(101), 11);
+    }
+
+    #[test]
+    fn ordering_lemma_holds_on_real_graphs() {
+        // Σ d(v)·d*(v) ≤ Σ_(u,v)∈E min(d(u), d(v)) — the exact inequality
+        // from the proof of Theorem IV.1.
+        for (g, tag) in [
+            (rmat(8, 31).unwrap(), "rmat"),
+            (complete(20).unwrap(), "k20"),
+            (grid(12, 12).unwrap(), "grid"),
+        ] {
+            let o = orient_csr(&g);
+            let d_star: Vec<u32> = (0..o.num_vertices()).map(|v| o.d_star(v)).collect();
+            let lhs = ordering_sum(&o.orig_degrees, &d_star);
+            let rhs = g.min_degree_sum();
+            assert!(lhs <= rhs, "{tag}: {lhs} > {rhs}");
+        }
+    }
+
+    #[test]
+    fn ordering_sum_within_arboricity_bound() {
+        // Theorem III.4(3): Σ min(d(u),d(v)) = O(α|E|) with a modest
+        // constant; check lhs ≤ 4·α̂·|E| using the √m upper bound on α.
+        let g = rmat(9, 32).unwrap();
+        let o = orient_csr(&g);
+        let d_star: Vec<u32> = (0..o.num_vertices()).map(|v| o.d_star(v)).collect();
+        let lhs = ordering_sum(&o.orig_degrees, &d_star);
+        let m = g.num_edges();
+        assert!(lhs <= 4 * arboricity_upper_bound(m) * m);
+    }
+
+    #[test]
+    fn io_bound_shrinks_with_memory() {
+        let small_m = mgt_io_bound_bytes(1_000_000, 1_000, 0);
+        let big_m = mgt_io_bound_bytes(1_000_000, 1_000_000, 0);
+        assert!(small_m > big_m);
+        // listing adds the T/B term
+        assert!(mgt_io_bound_bytes(1000, 1000, 500) > mgt_io_bound_bytes(1000, 1000, 0));
+    }
+
+    #[test]
+    fn pdtl_bounds_scale_with_cluster() {
+        let one = pdtl_io_bound_bytes(1, 1, 1_000_000, 10_000, 0);
+        let four = pdtl_io_bound_bytes(4, 8, 1_000_000, 10_000, 0);
+        assert!(four > one);
+        let net1 = pdtl_network_bound_bytes(1, 8, 1_000_000, 0);
+        let net4 = pdtl_network_bound_bytes(4, 8, 1_000_000, 0);
+        // graph duplication dominates: ~4x network for 4 nodes
+        assert!(net4 > 3 * net1 && net4 < 5 * net1);
+    }
+
+    #[test]
+    fn cpu_bound_has_both_terms() {
+        // tiny memory -> quadratic term dominates
+        let tight = pdtl_cpu_bound_ops(1, 1, 1_000_000, 100, 10);
+        // huge memory -> arboricity term dominates
+        let loose = pdtl_cpu_bound_ops(1, 1, 1_000_000, u64::MAX / 2, 10);
+        assert!(tight > loose);
+        assert!(loose >= 10 * 1_000_000);
+    }
+}

@@ -1,0 +1,317 @@
+//! In-memory CSR representation of simple undirected graphs.
+//!
+//! A [`Graph`] stores the *bidirectional* adjacency of a simple undirected
+//! graph: every edge `{u, v}` appears both in `N(u)` and `N(v)`, each list
+//! sorted ascending — exactly the layout of PDTL's on-disk format, so a
+//! `Graph` round-trips losslessly through [`DiskGraph`](crate::DiskGraph).
+
+use crate::error::{GraphError, Result};
+
+/// A simple undirected graph in CSR form.
+///
+/// Invariants (established by all constructors, checked by
+/// [`validate`](Graph::validate)):
+/// * no self-loops, no parallel edges;
+/// * each adjacency list sorted strictly ascending;
+/// * symmetry: `v ∈ N(u)` iff `u ∈ N(v)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// `offsets[u] .. offsets[u + 1]` indexes `adj` for vertex `u`;
+    /// `offsets.len() == n + 1`.
+    offsets: Vec<u64>,
+    /// Concatenated sorted adjacency lists (length `2|E|`).
+    adj: Vec<u32>,
+}
+
+impl Graph {
+    /// The empty graph on `n` isolated vertices.
+    pub fn empty(n: u32) -> Self {
+        Self {
+            offsets: vec![0; n as usize + 1],
+            adj: Vec::new(),
+        }
+    }
+
+    /// Build from an arbitrary list of undirected edges on vertices
+    /// `0..n`. Self-loops are dropped, duplicates (in either direction)
+    /// are merged, and adjacency is sorted — i.e. the input is
+    /// "simplified" per the paper's assumption that graphs are simple.
+    pub fn from_edges(n: u32, edges: &[(u32, u32)]) -> Result<Self> {
+        for &(u, v) in edges {
+            let bad = if u >= n {
+                Some(u)
+            } else if v >= n {
+                Some(v)
+            } else {
+                None
+            };
+            if let Some(vertex) = bad {
+                return Err(GraphError::VertexOutOfRange { vertex, n });
+            }
+        }
+        // Symmetrize then sort+dedup per list via a global sort of
+        // (src, dst) pairs.
+        let mut dir: Vec<(u32, u32)> = Vec::with_capacity(edges.len() * 2);
+        for &(u, v) in edges {
+            if u != v {
+                dir.push((u, v));
+                dir.push((v, u));
+            }
+        }
+        dir.sort_unstable();
+        dir.dedup();
+
+        let mut offsets = vec![0u64; n as usize + 1];
+        for &(u, _) in &dir {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n as usize {
+            offsets[i + 1] += offsets[i];
+        }
+        let adj = dir.into_iter().map(|(_, v)| v).collect();
+        Ok(Self { offsets, adj })
+    }
+
+    /// Build directly from CSR parts. The parts must already satisfy the
+    /// `Graph` invariants; use [`validate`](Graph::validate) if unsure.
+    pub fn from_parts(offsets: Vec<u64>, adj: Vec<u32>) -> Result<Self> {
+        if offsets.is_empty() {
+            return Err(GraphError::Invalid("offsets must have length n+1 >= 1".into()));
+        }
+        if *offsets.last().unwrap() != adj.len() as u64 {
+            return Err(GraphError::Invalid(format!(
+                "last offset {} != adjacency length {}",
+                offsets.last().unwrap(),
+                adj.len()
+            )));
+        }
+        let g = Self { offsets, adj };
+        Ok(g)
+    }
+
+    /// Number of vertices `n = |V|`.
+    pub fn num_vertices(&self) -> u32 {
+        (self.offsets.len() - 1) as u32
+    }
+
+    /// Number of undirected edges `m = |E|`.
+    pub fn num_edges(&self) -> u64 {
+        self.adj.len() as u64 / 2
+    }
+
+    /// Length of the bidirectional adjacency array (`2|E|`).
+    pub fn adj_len(&self) -> u64 {
+        self.adj.len() as u64
+    }
+
+    /// Degree of `u`.
+    pub fn degree(&self, u: u32) -> u32 {
+        (self.offsets[u as usize + 1] - self.offsets[u as usize]) as u32
+    }
+
+    /// Sorted neighbours of `u`.
+    pub fn neighbors(&self, u: u32) -> &[u32] {
+        &self.adj[self.offsets[u as usize] as usize..self.offsets[u as usize + 1] as usize]
+    }
+
+    /// The CSR offset array (`n + 1` entries).
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// The raw adjacency array.
+    pub fn adjacency(&self) -> &[u32] {
+        &self.adj
+    }
+
+    /// All degrees as a vector (the content of the `.deg` file).
+    pub fn degrees(&self) -> Vec<u32> {
+        (0..self.num_vertices()).map(|u| self.degree(u)).collect()
+    }
+
+    /// Maximum degree.
+    pub fn max_degree(&self) -> u32 {
+        (0..self.num_vertices())
+            .map(|u| self.degree(u))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// True if `{u, v}` is an edge (binary search in the shorter list).
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        if u >= self.num_vertices() || v >= self.num_vertices() {
+            return false;
+        }
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Iterate each undirected edge once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.num_vertices()).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Check every structural invariant; returns a description of the
+    /// first violation.
+    pub fn validate(&self) -> Result<()> {
+        let n = self.num_vertices();
+        if self.offsets[0] != 0 {
+            return Err(GraphError::Invalid("offsets[0] != 0".into()));
+        }
+        for u in 0..n as usize {
+            if self.offsets[u] > self.offsets[u + 1] {
+                return Err(GraphError::Invalid(format!("offsets decrease at {u}")));
+            }
+        }
+        for u in 0..n {
+            let ns = self.neighbors(u);
+            for w in ns.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(GraphError::Invalid(format!(
+                        "adjacency of {u} not strictly ascending"
+                    )));
+                }
+            }
+            for &v in ns {
+                if v >= n {
+                    return Err(GraphError::VertexOutOfRange { vertex: v, n });
+                }
+                if v == u {
+                    return Err(GraphError::Invalid(format!("self-loop at {u}")));
+                }
+                if self.neighbors(v).binary_search(&u).is_err() {
+                    return Err(GraphError::Invalid(format!(
+                        "asymmetric edge ({u}, {v})"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Sum over edges of `min(d(u), d(v))` — the arboricity-related bound
+    /// of Theorem III.4(3); `T <= bound / 3`.
+    pub fn min_degree_sum(&self) -> u64 {
+        self.edges()
+            .map(|(u, v)| self.degree(u).min(self.degree(v)) as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap()
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn builds_triangle() {
+        let g = triangle();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(2), &[0, 1]);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn drops_self_loops_and_duplicates() {
+        let g = Graph::from_edges(3, &[(0, 0), (0, 1), (1, 0), (0, 1), (1, 2)]).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(0), &[1]);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let err = Graph::from_edges(2, &[(0, 5)]).unwrap_err();
+        assert!(matches!(
+            err,
+            GraphError::VertexOutOfRange { vertex: 5, n: 2 }
+        ));
+    }
+
+    #[test]
+    fn has_edge_both_directions() {
+        let g = triangle();
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(2, 0));
+        assert!(!g.has_edge(0, 0));
+        assert!(!g.has_edge(0, 99));
+    }
+
+    #[test]
+    fn edges_iterates_each_once() {
+        let g = triangle();
+        let es: Vec<_> = g.edges().collect();
+        assert_eq!(es, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn degrees_and_max() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        assert_eq!(g.degrees(), vec![3, 1, 1, 1]);
+        assert_eq!(g.max_degree(), 3);
+        assert_eq!(g.adj_len(), 6);
+    }
+
+    #[test]
+    fn from_parts_validates_lengths() {
+        assert!(Graph::from_parts(vec![], vec![]).is_err());
+        assert!(Graph::from_parts(vec![0, 2], vec![1]).is_err());
+        let g = Graph::from_parts(vec![0, 1, 2], vec![1, 0]).unwrap();
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_asymmetry() {
+        let g = Graph {
+            offsets: vec![0, 1, 1],
+            adj: vec![1],
+        };
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_unsorted() {
+        let g = Graph {
+            offsets: vec![0, 2, 3, 4],
+            adj: vec![2, 1, 0, 0],
+        };
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn min_degree_sum_triangle() {
+        // every edge has min-degree 2 -> sum 6; T=1 <= 6/3
+        assert_eq!(triangle().min_degree_sum(), 6);
+    }
+
+    #[test]
+    fn clone_and_eq() {
+        let g = triangle();
+        assert_eq!(g.clone(), g);
+    }
+}

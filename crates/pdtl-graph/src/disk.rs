@@ -1,0 +1,405 @@
+//! The PDTL binary on-disk graph format.
+//!
+//! Per the paper (§V-B): *"graphs are in binary, bi-directional format,
+//! with degrees of vertices and their out-edges in separate files"* and
+//! *"edges are sorted by source and destination"*. Concretely, a graph
+//! named `base` is the file pair:
+//!
+//! * `base.deg` — `n` little-endian `u32` degrees, vertex order;
+//! * `base.adj` — the concatenated adjacency lists in vertex order, each
+//!   sorted ascending (`sum(deg)` values; `2|E|` for an undirected graph,
+//!   `|E*|` for an oriented one).
+//!
+//! The same pair of files stores both undirected inputs and oriented
+//! outputs (orientation just changes which neighbours are present), so the
+//! whole pipeline — orientation, replication, per-core MGT — moves these
+//! two files around.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+use pdtl_io::{IoError, IoStats, U32Reader, U32Writer, BYTES_PER_U32};
+
+use crate::csr::Graph;
+use crate::error::Result;
+
+/// Handle to a graph stored in PDTL binary format.
+#[derive(Debug, Clone)]
+pub struct DiskGraph {
+    base: PathBuf,
+    n: u32,
+    adj_len: u64,
+}
+
+impl DiskGraph {
+    /// Write `graph` to `base{.deg,.adj}`.
+    pub fn write(graph: &Graph, base: impl AsRef<Path>, stats: &Arc<IoStats>) -> Result<Self> {
+        let base = base.as_ref().to_path_buf();
+        if let Some(parent) = base.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| IoError::os("mkdir", parent, e))?;
+            }
+        }
+        let mut degw = U32Writer::create(deg_path(&base), stats.clone())?;
+        for u in 0..graph.num_vertices() {
+            degw.write(graph.degree(u))?;
+        }
+        degw.finish()?;
+        let mut adjw = U32Writer::create(adj_path(&base), stats.clone())?;
+        adjw.write_all(graph.adjacency())?;
+        adjw.finish()?;
+        Ok(Self {
+            base,
+            n: graph.num_vertices(),
+            adj_len: graph.adj_len(),
+        })
+    }
+
+    /// Open an existing `base{.deg,.adj}` pair, validating sizes.
+    pub fn open(base: impl AsRef<Path>, stats: &Arc<IoStats>) -> Result<Self> {
+        let base = base.as_ref().to_path_buf();
+        let deg = deg_path(&base);
+        let adj = adj_path(&base);
+        let deg_meta = std::fs::metadata(&deg).map_err(|e| IoError::os("stat", &deg, e))?;
+        let adj_meta = std::fs::metadata(&adj).map_err(|e| IoError::os("stat", &adj, e))?;
+        if deg_meta.len() % BYTES_PER_U32 != 0 {
+            return Err(IoError::malformed(&deg, "degree file not u32-aligned").into());
+        }
+        if adj_meta.len() % BYTES_PER_U32 != 0 {
+            return Err(IoError::malformed(&adj, "adjacency file not u32-aligned").into());
+        }
+        let _ = stats; // sizes come from metadata, no data I/O yet
+        Ok(Self {
+            base,
+            n: (deg_meta.len() / BYTES_PER_U32) as u32,
+            adj_len: adj_meta.len() / BYTES_PER_U32,
+        })
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> u32 {
+        self.n
+    }
+
+    /// Total adjacency entries (`2|E|` undirected, `|E*|` oriented).
+    pub fn adj_len(&self) -> u64 {
+        self.adj_len
+    }
+
+    /// The base path (without extension).
+    pub fn base(&self) -> &Path {
+        &self.base
+    }
+
+    /// Path of the degree file.
+    pub fn deg_path(&self) -> PathBuf {
+        deg_path(&self.base)
+    }
+
+    /// Path of the adjacency file.
+    pub fn adj_path(&self) -> PathBuf {
+        adj_path(&self.base)
+    }
+
+    /// Combined size of both files in bytes (what replication copies).
+    pub fn size_bytes(&self) -> u64 {
+        (self.n as u64 + self.adj_len) * BYTES_PER_U32
+    }
+
+    /// Read the whole degree file.
+    pub fn load_degrees(&self, stats: &Arc<IoStats>) -> Result<Vec<u32>> {
+        let mut r = U32Reader::open(self.deg_path(), stats.clone())?;
+        Ok(r.read_all()?)
+    }
+
+    /// Open a counted reader positioned at the start of the adjacency
+    /// file.
+    pub fn open_adj(&self, stats: &Arc<IoStats>) -> Result<U32Reader> {
+        Ok(U32Reader::open(self.adj_path(), stats.clone())?)
+    }
+
+    /// Load the full graph back into CSR form.
+    ///
+    /// Note: for an *oriented* graph the result is a directed adjacency
+    /// structure and will not pass `Graph::validate`'s symmetry check;
+    /// use [`load_parts`](Self::load_parts) in that case.
+    pub fn load_csr(&self, stats: &Arc<IoStats>) -> Result<Graph> {
+        let (offsets, adj) = self.load_parts(stats)?;
+        Graph::from_parts(offsets, adj)
+    }
+
+    /// Load offsets (prefix sums of degrees) and raw adjacency.
+    pub fn load_parts(&self, stats: &Arc<IoStats>) -> Result<(Vec<u64>, Vec<u32>)> {
+        let degrees = self.load_degrees(stats)?;
+        let offsets = offsets_from_degrees(&degrees);
+        if *offsets.last().unwrap() != self.adj_len {
+            return Err(IoError::malformed(
+                self.adj_path(),
+                format!(
+                    "degree sum {} != adjacency length {}",
+                    offsets.last().unwrap(),
+                    self.adj_len
+                ),
+            )
+            .into());
+        }
+        let mut r = self.open_adj(stats)?;
+        let adj = r.read_all()?;
+        Ok((offsets, adj))
+    }
+
+    /// Copy both files to a new base (replication to a node's local
+    /// disk). Returns the new handle and the bytes copied.
+    pub fn copy_to(&self, new_base: impl AsRef<Path>, stats: &Arc<IoStats>) -> Result<(Self, u64)> {
+        let new_base = new_base.as_ref().to_path_buf();
+        if let Some(parent) = new_base.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| IoError::os("mkdir", parent, e))?;
+            }
+        }
+        let mut total = 0u64;
+        for (src, dst) in [
+            (self.deg_path(), deg_path(&new_base)),
+            (self.adj_path(), adj_path(&new_base)),
+        ] {
+            let start = Instant::now();
+            let bytes = std::fs::copy(&src, &dst).map_err(|e| IoError::os("copy", &src, e))?;
+            let elapsed = start.elapsed();
+            stats.record_read(bytes, elapsed / 2);
+            stats.record_write(bytes, elapsed / 2);
+            total += bytes;
+        }
+        Ok((
+            Self {
+                base: new_base,
+                n: self.n,
+                adj_len: self.adj_len,
+            },
+            total,
+        ))
+    }
+
+    /// Delete both files (cleanup of replicas and temporaries).
+    pub fn remove(&self) -> Result<()> {
+        for p in [self.deg_path(), self.adj_path()] {
+            std::fs::remove_file(&p).map_err(|e| IoError::os("remove", &p, e))?;
+        }
+        Ok(())
+    }
+}
+
+/// Streaming import: build a `DiskGraph` from a file of *sorted* packed
+/// directed edges (`(u << 32) | v`, both directions present), as produced
+/// by [`pdtl_io::external_sort_u64`]. This is the tail of the
+/// edge-list → PDTL-format pipeline and never materialises the graph in
+/// memory.
+pub fn from_sorted_packed_edges(
+    edge_file: &Path,
+    n: u32,
+    base: impl AsRef<Path>,
+    stats: &Arc<IoStats>,
+) -> Result<DiskGraph> {
+    let base = base.as_ref().to_path_buf();
+    if let Some(parent) = base.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| IoError::os("mkdir", parent, e))?;
+        }
+    }
+    let records = pdtl_io::extsort::read_u64_records(edge_file, stats)?;
+    let mut degw = U32Writer::create(deg_path(&base), stats.clone())?;
+    let mut adjw = U32Writer::create(adj_path(&base), stats.clone())?;
+    let mut current = 0u32;
+    let mut deg = 0u32;
+    let mut prev: Option<u64> = None;
+    let mut adj_len = 0u64;
+    for &rec in &records {
+        if prev == Some(rec) {
+            continue; // merged duplicate
+        }
+        prev = Some(rec);
+        let (u, v) = ((rec >> 32) as u32, rec as u32);
+        if u == v {
+            continue;
+        }
+        if u >= n || v >= n {
+            return Err(crate::GraphError::VertexOutOfRange {
+                vertex: u.max(v),
+                n,
+            });
+        }
+        while current < u {
+            degw.write(deg)?;
+            deg = 0;
+            current += 1;
+        }
+        adjw.write(v)?;
+        deg += 1;
+        adj_len += 1;
+    }
+    while current < n {
+        degw.write(deg)?;
+        deg = 0;
+        current += 1;
+    }
+    degw.finish()?;
+    adjw.finish()?;
+    Ok(DiskGraph {
+        base,
+        n,
+        adj_len,
+    })
+}
+
+/// Prefix-sum degrees into CSR offsets (`n + 1` entries).
+pub fn offsets_from_degrees(degrees: &[u32]) -> Vec<u64> {
+    let mut offsets = Vec::with_capacity(degrees.len() + 1);
+    offsets.push(0u64);
+    let mut acc = 0u64;
+    for &d in degrees {
+        acc += d as u64;
+        offsets.push(acc);
+    }
+    offsets
+}
+
+fn deg_path(base: &Path) -> PathBuf {
+    let mut os = base.as_os_str().to_os_string();
+    os.push(".deg");
+    PathBuf::from(os)
+}
+
+fn adj_path(base: &Path) -> PathBuf {
+    let mut os = base.as_os_str().to_os_string();
+    os.push(".adj");
+    PathBuf::from(os)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpbase(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("pdtl-disk-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    fn sample() -> Graph {
+        Graph::from_edges(5, &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4)]).unwrap()
+    }
+
+    #[test]
+    fn write_open_round_trip() {
+        let stats = IoStats::new();
+        let g = sample();
+        let base = tmpbase("rt");
+        let dg = DiskGraph::write(&g, &base, &stats).unwrap();
+        assert_eq!(dg.num_vertices(), 5);
+        assert_eq!(dg.adj_len(), g.adj_len());
+
+        let dg2 = DiskGraph::open(&base, &stats).unwrap();
+        assert_eq!(dg2.num_vertices(), 5);
+        assert_eq!(dg2.adj_len(), g.adj_len());
+        let g2 = dg2.load_csr(&stats).unwrap();
+        assert_eq!(g, g2);
+        g2.validate().unwrap();
+    }
+
+    #[test]
+    fn size_bytes_counts_both_files() {
+        let stats = IoStats::new();
+        let g = sample();
+        let dg = DiskGraph::write(&g, tmpbase("size"), &stats).unwrap();
+        assert_eq!(dg.size_bytes(), (5 + g.adj_len()) * 4);
+        let on_disk = std::fs::metadata(dg.deg_path()).unwrap().len()
+            + std::fs::metadata(dg.adj_path()).unwrap().len();
+        assert_eq!(dg.size_bytes(), on_disk);
+    }
+
+    #[test]
+    fn load_degrees_matches() {
+        let stats = IoStats::new();
+        let g = sample();
+        let dg = DiskGraph::write(&g, tmpbase("deg"), &stats).unwrap();
+        assert_eq!(dg.load_degrees(&stats).unwrap(), g.degrees());
+    }
+
+    #[test]
+    fn copy_to_replicates() {
+        let stats = IoStats::new();
+        let g = sample();
+        let dg = DiskGraph::write(&g, tmpbase("cp-src"), &stats).unwrap();
+        let (dup, bytes) = dg.copy_to(tmpbase("cp-dst"), &stats).unwrap();
+        assert_eq!(bytes, dg.size_bytes());
+        assert_eq!(dup.load_csr(&stats).unwrap(), g);
+        dup.remove().unwrap();
+        assert!(!dup.deg_path().exists());
+    }
+
+    #[test]
+    fn open_missing_fails_with_path() {
+        let err = DiskGraph::open(tmpbase("nope"), &IoStats::new()).unwrap_err();
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn detects_degree_adjacency_mismatch() {
+        let stats = IoStats::new();
+        let g = sample();
+        let base = tmpbase("mismatch");
+        let dg = DiskGraph::write(&g, &base, &stats).unwrap();
+        // Truncate the adjacency file behind the handle's back.
+        std::fs::write(dg.adj_path(), [0u8; 4]).unwrap();
+        let dg = DiskGraph::open(&base, &stats).unwrap();
+        assert!(dg.load_parts(&stats).is_err());
+    }
+
+    #[test]
+    fn offsets_from_degrees_prefix_sums() {
+        assert_eq!(offsets_from_degrees(&[]), vec![0]);
+        assert_eq!(offsets_from_degrees(&[2, 0, 3]), vec![0, 2, 2, 5]);
+    }
+
+    #[test]
+    fn import_from_sorted_packed_edges() {
+        let stats = IoStats::new();
+        let g = sample();
+        // produce the packed bidirectional edge stream, sorted
+        let mut packed: Vec<u64> = Vec::new();
+        for (u, v) in g.edges() {
+            packed.push(((u as u64) << 32) | v as u64);
+            packed.push(((v as u64) << 32) | u as u64);
+        }
+        // include a duplicate and a self loop to exercise cleaning
+        packed.push(packed[0]);
+        packed.push((2u64 << 32) | 2);
+        packed.sort_unstable();
+        let ef = tmpbase("packed-edges");
+        pdtl_io::extsort::write_u64_records(&ef, &packed, &stats).unwrap();
+        let dg = from_sorted_packed_edges(&ef, 5, tmpbase("imported"), &stats).unwrap();
+        let g2 = dg.load_csr(&stats).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn import_rejects_out_of_range() {
+        let stats = IoStats::new();
+        let ef = tmpbase("bad-edges");
+        pdtl_io::extsort::write_u64_records(&ef, &[(9u64 << 32) | 1], &stats).unwrap();
+        assert!(from_sorted_packed_edges(&ef, 5, tmpbase("bad-import"), &stats).is_err());
+    }
+
+    #[test]
+    fn io_accounting_on_write_and_load() {
+        let stats = IoStats::new();
+        let g = sample();
+        let dg = DiskGraph::write(&g, tmpbase("acct"), &stats).unwrap();
+        let written = stats.bytes_written();
+        assert_eq!(written, dg.size_bytes());
+        dg.load_csr(&stats).unwrap();
+        assert_eq!(stats.bytes_read(), dg.size_bytes());
+    }
+}

@@ -1,0 +1,65 @@
+//! Error type for the graph substrate.
+
+use std::fmt;
+
+/// Result alias for graph operations.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+/// Errors raised by graph construction, disk (de)serialisation and
+/// validation.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An underlying I/O substrate failure.
+    Io(pdtl_io::IoError),
+    /// An edge referenced a vertex id >= n.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: u32,
+        /// The graph's vertex count.
+        n: u32,
+    },
+    /// A structural invariant of the PDTL format was violated.
+    Invalid(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Io(e) => write!(f, "io: {e}"),
+            GraphError::VertexOutOfRange { vertex, n } => {
+                write!(f, "vertex {vertex} out of range (n = {n})")
+            }
+            GraphError::Invalid(msg) => write!(f, "invalid graph: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<pdtl_io::IoError> for GraphError {
+    fn from(e: pdtl_io::IoError) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_variants() {
+        let e = GraphError::VertexOutOfRange { vertex: 9, n: 5 };
+        assert!(e.to_string().contains('9'));
+        let e = GraphError::Invalid("not sorted".into());
+        assert!(e.to_string().contains("not sorted"));
+        let e: GraphError = pdtl_io::IoError::malformed("/x", "bad").into();
+        assert!(e.to_string().contains("bad"));
+    }
+}

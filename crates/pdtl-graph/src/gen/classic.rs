@@ -1,0 +1,172 @@
+//! Structured graphs with closed-form triangle counts.
+//!
+//! These are the workspace's ground-truth fixtures: every engine's tests
+//! check against `K_n`'s `C(n,3)` triangles, the wheel's `n-1`, the
+//! grid's 0, etc. The grid also exercises the paper's arboricity
+//! discussion — planar graphs have `α = O(1)`, so MGT's `O(α|E|)` CPU
+//! term is linear there.
+
+use crate::csr::Graph;
+use crate::error::Result;
+use crate::gen::rng::SplitMix64;
+
+/// Complete graph `K_n` (triangles: `C(n, 3)`).
+pub fn complete(n: u32) -> Result<Graph> {
+    let mut edges = Vec::with_capacity((n as usize * (n as usize - 1)) / 2);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            edges.push((u, v));
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// Cycle `C_n` (triangles: 1 if n == 3 else 0).
+pub fn cycle(n: u32) -> Result<Graph> {
+    assert!(n >= 3, "cycle needs at least 3 vertices");
+    let edges: Vec<_> = (0..n).map(|u| (u, (u + 1) % n)).collect();
+    Graph::from_edges(n, &edges)
+}
+
+/// Path `P_n` (no triangles).
+pub fn path(n: u32) -> Result<Graph> {
+    let edges: Vec<_> = (1..n).map(|u| (u - 1, u)).collect();
+    Graph::from_edges(n, &edges)
+}
+
+/// Star `S_n`: vertex 0 joined to all others (no triangles).
+pub fn star(n: u32) -> Result<Graph> {
+    let edges: Vec<_> = (1..n).map(|u| (0, u)).collect();
+    Graph::from_edges(n, &edges)
+}
+
+/// Wheel `W_n`: a hub joined to an (n-1)-cycle (triangles: n - 1 for
+/// n >= 5; W_4 = K_4 has 4).
+pub fn wheel(n: u32) -> Result<Graph> {
+    assert!(n >= 4, "wheel needs at least 4 vertices");
+    let rim = n - 1;
+    let mut edges: Vec<_> = (1..=rim).map(|u| (0, u)).collect();
+    for i in 0..rim {
+        edges.push((1 + i, 1 + (i + 1) % rim));
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// `rows x cols` grid (planar, arboricity O(1), no triangles).
+pub fn grid(rows: u32, cols: u32) -> Result<Graph> {
+    let n = rows * cols;
+    let idx = |r: u32, c: u32| r * cols + c;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((idx(r, c), idx(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((idx(r, c), idx(r + 1, c)));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// Erdős–Rényi `G(n, m)`: `m` distinct uniform edges.
+pub fn erdos_renyi(n: u32, m: u64, seed: u64) -> Result<Graph> {
+    assert!(n >= 2);
+    let max_m = n as u64 * (n as u64 - 1) / 2;
+    assert!(m <= max_m, "requested more edges than C(n,2)");
+    let mut rng = SplitMix64::new(seed);
+    let mut set = std::collections::HashSet::with_capacity(m as usize * 2);
+    let mut edges = Vec::with_capacity(m as usize);
+    while (edges.len() as u64) < m {
+        let u = rng.next_bounded(n as u64) as u32;
+        let v = rng.next_bounded(n as u64) as u32;
+        if u == v {
+            continue;
+        }
+        let key = if u < v {
+            ((u as u64) << 32) | v as u64
+        } else {
+            ((v as u64) << 32) | u as u64
+        };
+        if set.insert(key) {
+            edges.push((u, v));
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::triangle_count;
+
+    #[test]
+    fn complete_counts() {
+        // C(n,3) for n = 3..8
+        for n in 3..8u32 {
+            let g = complete(n).unwrap();
+            let expected = (n as u64) * (n as u64 - 1) * (n as u64 - 2) / 6;
+            assert_eq!(triangle_count(&g), expected, "K_{n}");
+            g.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn cycle_counts() {
+        assert_eq!(triangle_count(&cycle(3).unwrap()), 1);
+        assert_eq!(triangle_count(&cycle(4).unwrap()), 0);
+        assert_eq!(triangle_count(&cycle(100).unwrap()), 0);
+    }
+
+    #[test]
+    fn path_and_star_triangle_free() {
+        assert_eq!(triangle_count(&path(50).unwrap()), 0);
+        assert_eq!(triangle_count(&star(50).unwrap()), 0);
+    }
+
+    #[test]
+    fn wheel_counts() {
+        assert_eq!(triangle_count(&wheel(4).unwrap()), 4); // K_4
+        for n in 5..12u32 {
+            assert_eq!(triangle_count(&wheel(n).unwrap()), (n - 1) as u64, "W_{n}");
+        }
+    }
+
+    #[test]
+    fn grid_is_planar_and_triangle_free() {
+        let g = grid(6, 7).unwrap();
+        assert_eq!(g.num_vertices(), 42);
+        assert_eq!(g.num_edges(), (6 * 6 + 5 * 7) as u64);
+        assert_eq!(triangle_count(&g), 0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn er_exact_edge_count() {
+        let g = erdos_renyi(100, 500, 9).unwrap();
+        assert_eq!(g.num_vertices(), 100);
+        assert_eq!(g.num_edges(), 500);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn er_deterministic() {
+        assert_eq!(
+            erdos_renyi(50, 100, 4).unwrap(),
+            erdos_renyi(50, 100, 4).unwrap()
+        );
+    }
+
+    #[test]
+    fn er_full_density_is_complete() {
+        let g = erdos_renyi(10, 45, 1).unwrap();
+        assert_eq!(g, complete(10).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "C(n,2)")]
+    fn er_rejects_impossible_m() {
+        let _ = erdos_renyi(4, 7, 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Graph substrate for PDTL.
+//!
+//! Provides everything the triangle engines consume:
+//!
+//! * [`Graph`] — an in-memory CSR (compressed sparse row) representation of
+//!   a simple undirected graph, stored bidirectionally with each adjacency
+//!   list sorted ascending. This is the in-memory mirror of PDTL's on-disk
+//!   format and the workhorse for generators, verification and baselines.
+//! * [`DiskGraph`] — the binary on-disk format of the paper (§V-B): a
+//!   `.deg` file of `u32` degrees and an `.adj` file of concatenated sorted
+//!   adjacency lists, "sorted by source and destination", compatible in
+//!   spirit with the original MGT binary's format.
+//! * [`gen`] — deterministic graph generators: the RMAT recursive model
+//!   used for the paper's synthetic graphs and Chung–Lu power-law
+//!   generators used as scaled stand-ins for the paper's real datasets
+//!   (LiveJournal, Orkut, Twitter, Yahoo).
+//! * [`stats`] — the dataset statistics of Table I.
+//! * [`verify`] — brute-force triangle counting/listing used as the
+//!   correctness oracle for every engine in the workspace.
+//! * [`datasets`] — the named, scaled workloads every experiment runs on.
+
+pub mod csr;
+pub mod datasets;
+pub mod disk;
+pub mod error;
+pub mod gen;
+pub mod stats;
+pub mod text;
+pub mod verify;
+
+pub use csr::Graph;
+pub use disk::DiskGraph;
+pub use error::{GraphError, Result};
+pub use stats::GraphStats;

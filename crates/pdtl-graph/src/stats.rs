@@ -1,0 +1,158 @@
+//! Dataset statistics (the paper's Table I).
+//!
+//! Table I reports, per graph: nodes, edges, triangles, on-disk size,
+//! average degree, degree standard deviation, and max degree.
+//! [`GraphStats::compute`] derives all of these from a [`Graph`]
+//! (triangles are filled in by whichever engine the caller trusts).
+
+use crate::csr::Graph;
+
+/// Summary statistics of one dataset, one row of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Dataset name.
+    pub name: String,
+    /// `|V|`.
+    pub nodes: u64,
+    /// `|E|` (undirected).
+    pub edges: u64,
+    /// Exact triangle count, if computed.
+    pub triangles: Option<u64>,
+    /// On-disk size in bytes of the PDTL binary format.
+    pub size_bytes: u64,
+    /// Average degree `2|E| / |V|`.
+    pub avg_degree: f64,
+    /// Standard deviation of the degree distribution.
+    pub std_degree: f64,
+    /// Maximum degree.
+    pub max_degree: u32,
+}
+
+impl GraphStats {
+    /// Compute the statistics of `g` (without triangles).
+    pub fn compute(name: impl Into<String>, g: &Graph) -> Self {
+        let n = g.num_vertices() as u64;
+        let m = g.num_edges();
+        let avg = if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 };
+        let mut var_acc = 0.0f64;
+        let mut max_deg = 0u32;
+        for u in 0..g.num_vertices() {
+            let d = g.degree(u);
+            max_deg = max_deg.max(d);
+            let diff = d as f64 - avg;
+            var_acc += diff * diff;
+        }
+        let std = if n == 0 { 0.0 } else { (var_acc / n as f64).sqrt() };
+        Self {
+            name: name.into(),
+            nodes: n,
+            edges: m,
+            triangles: None,
+            // .deg holds n u32s; .adj holds 2m u32s.
+            size_bytes: (n + 2 * m) * 4,
+            avg_degree: avg,
+            std_degree: std,
+            max_degree: max_deg,
+        }
+    }
+
+    /// Attach a triangle count.
+    pub fn with_triangles(mut self, t: u64) -> Self {
+        self.triangles = Some(t);
+        self
+    }
+
+    /// Format as a Table I-style row.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<16} {:>10} {:>12} {:>14} {:>10} {:>8.1} {:>8.1} {:>9}",
+            self.name,
+            self.nodes,
+            self.edges,
+            self.triangles
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "-".into()),
+            human_bytes(self.size_bytes),
+            self.avg_degree,
+            self.std_degree,
+            self.max_degree
+        )
+    }
+
+    /// The header matching [`row`](Self::row).
+    pub fn header() -> String {
+        format!(
+            "{:<16} {:>10} {:>12} {:>14} {:>10} {:>8} {:>8} {:>9}",
+            "Graph", "Nodes", "Edges", "Triangles", "Size", "AvDeg", "STD", "MaxDeg"
+        )
+    }
+}
+
+/// Render a byte count with a binary-prefix unit.
+pub fn human_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0usize;
+    while value >= 1024.0 && unit + 1 < UNITS.len() {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes}B")
+    } else {
+        format!("{value:.1}{}", UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::classic::{complete, star};
+
+    #[test]
+    fn complete_graph_stats() {
+        let g = complete(10).unwrap();
+        let s = GraphStats::compute("K10", &g);
+        assert_eq!(s.nodes, 10);
+        assert_eq!(s.edges, 45);
+        assert!((s.avg_degree - 9.0).abs() < 1e-12);
+        assert!(s.std_degree.abs() < 1e-12, "regular graph has zero std");
+        assert_eq!(s.max_degree, 9);
+        assert_eq!(s.size_bytes, (10 + 90) * 4);
+    }
+
+    #[test]
+    fn star_has_high_std() {
+        let g = star(101).unwrap();
+        let s = GraphStats::compute("star", &g);
+        assert_eq!(s.max_degree, 100);
+        assert!((s.avg_degree - (2.0 * 100.0 / 101.0)).abs() < 1e-9);
+        assert!(s.std_degree > 9.0);
+    }
+
+    #[test]
+    fn empty_graph_stats_are_zero() {
+        let g = Graph::empty(0);
+        let s = GraphStats::compute("empty", &g);
+        assert_eq!(s.avg_degree, 0.0);
+        assert_eq!(s.std_degree, 0.0);
+    }
+
+    #[test]
+    fn with_triangles_and_row() {
+        let g = complete(4).unwrap();
+        let s = GraphStats::compute("K4", &g).with_triangles(4);
+        let row = s.row();
+        assert!(row.contains("K4"));
+        assert!(row.contains('4'));
+        assert!(GraphStats::header().contains("Triangles"));
+    }
+
+    #[test]
+    fn human_bytes_units() {
+        assert_eq!(human_bytes(12), "12B");
+        assert_eq!(human_bytes(2048), "2.0KiB");
+        assert_eq!(human_bytes(3 * 1024 * 1024), "3.0MiB");
+        assert!(human_bytes(5 * 1024 * 1024 * 1024).contains("GiB"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Per-processor memory budgets.
+//!
+//! The paper's analysis parameterises every bound by `M`, the memory
+//! available to one processor, measured in edges: the MGT chunk loader
+//! brings `Θ(M)` oriented edges into memory per iteration, and a processor
+//! responsible for `S` edges performs `ceil(S / M)` iterations. PDTL's
+//! evaluation (Figure 5) varies `M` while holding everything else fixed;
+//! [`MemoryBudget`] is the knob those experiments turn.
+
+use crate::error::{IoError, Result};
+
+/// Fraction of the budget the chunk loader actually fills (the paper's
+/// implementation-specific constant `c < 1`; it leaves room for the `ind`
+/// offset array and scratch space).
+pub const DEFAULT_LOAD_FACTOR: f64 = 0.5;
+
+/// Memory available to a single logical processor, in edges.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryBudget {
+    /// Total edges' worth of memory available to the processor.
+    pub edges: usize,
+    /// Fraction of `edges` the chunk loader may fill per iteration.
+    pub load_factor: f64,
+}
+
+impl MemoryBudget {
+    /// A budget of `edges` edges with the default load factor.
+    pub fn edges(edges: usize) -> Self {
+        Self {
+            edges,
+            load_factor: DEFAULT_LOAD_FACTOR,
+        }
+    }
+
+    /// A budget expressed in bytes, at 4 bytes per stored edge endpoint
+    /// (the on-disk and in-memory unit of the PDTL format). This mirrors
+    /// the paper's "1GB of memory/core" style configuration.
+    pub fn bytes(bytes: u64) -> Self {
+        Self::edges((bytes / crate::stream::BYTES_PER_U32) as usize)
+    }
+
+    /// Override the load factor (clamped to `(0, 1]`).
+    pub fn with_load_factor(mut self, f: f64) -> Self {
+        self.load_factor = f.clamp(f64::MIN_POSITIVE, 1.0);
+        self
+    }
+
+    /// Edges loaded per MGT iteration: `c * M`, at least 1.
+    pub fn chunk_edges(&self) -> usize {
+        ((self.edges as f64 * self.load_factor) as usize).max(1)
+    }
+
+    /// Number of chunk iterations needed to cover `range_edges` edges:
+    /// `ceil(S / cM)` — the `R` of the paper's Section IV-B2.
+    pub fn iterations_for(&self, range_edges: u64) -> u64 {
+        range_edges.div_ceil(self.chunk_edges() as u64)
+    }
+
+    /// Check the paper's small-degree assumption `d* <= cM` for a given
+    /// maximum oriented degree; the MGT engine handles violations with an
+    /// incremental fallback, but callers may want to warn.
+    pub fn satisfies_small_degree(&self, d_star_max: u32) -> bool {
+        (d_star_max as usize) <= self.chunk_edges()
+    }
+
+    /// Error unless the budget can hold at least `needed` edges per chunk.
+    pub fn require_chunk(&self, needed: usize) -> Result<()> {
+        let available = self.chunk_edges();
+        if needed > available {
+            Err(IoError::BudgetTooSmall { needed, available })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl Default for MemoryBudget {
+    /// 64 Mi edges (256 MiB), a laptop-friendly default.
+    fn default() -> Self {
+        Self::edges(64 << 20)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_is_load_factor_fraction() {
+        let b = MemoryBudget::edges(1000);
+        assert_eq!(b.chunk_edges(), 500);
+        let b = b.with_load_factor(0.25);
+        assert_eq!(b.chunk_edges(), 250);
+    }
+
+    #[test]
+    fn chunk_is_at_least_one() {
+        let b = MemoryBudget::edges(1).with_load_factor(0.1);
+        assert_eq!(b.chunk_edges(), 1);
+        let b = MemoryBudget::edges(0);
+        assert_eq!(b.chunk_edges(), 1);
+    }
+
+    #[test]
+    fn bytes_constructor_divides_by_endpoint_size() {
+        let b = MemoryBudget::bytes(400);
+        assert_eq!(b.edges, 100);
+    }
+
+    #[test]
+    fn iterations_round_up() {
+        let b = MemoryBudget::edges(100); // chunk = 50
+        assert_eq!(b.iterations_for(0), 0);
+        assert_eq!(b.iterations_for(1), 1);
+        assert_eq!(b.iterations_for(50), 1);
+        assert_eq!(b.iterations_for(51), 2);
+        assert_eq!(b.iterations_for(500), 10);
+    }
+
+    #[test]
+    fn small_degree_assumption() {
+        let b = MemoryBudget::edges(100); // chunk = 50
+        assert!(b.satisfies_small_degree(50));
+        assert!(!b.satisfies_small_degree(51));
+    }
+
+    #[test]
+    fn require_chunk_errors_when_too_small() {
+        let b = MemoryBudget::edges(10); // chunk = 5
+        assert!(b.require_chunk(5).is_ok());
+        let err = b.require_chunk(6).unwrap_err();
+        assert!(matches!(
+            err,
+            IoError::BudgetTooSmall {
+                needed: 6,
+                available: 5
+            }
+        ));
+    }
+
+    #[test]
+    fn load_factor_clamped() {
+        let b = MemoryBudget::edges(100).with_load_factor(2.0);
+        assert_eq!(b.chunk_edges(), 100);
+        let b = MemoryBudget::edges(100).with_load_factor(-1.0);
+        assert_eq!(b.chunk_edges(), 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! Error type shared by the I/O substrate.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Result alias used throughout the I/O substrate.
+pub type Result<T> = std::result::Result<T, IoError>;
+
+/// An I/O error annotated with the operation and path that produced it.
+///
+/// `std::io::Error` on its own loses the file name, which makes failures in
+/// a multi-file external-memory pipeline (degree file, adjacency file, run
+/// files, per-node copies) hard to attribute. Every substrate operation
+/// wraps errors with enough context to identify the failing file.
+#[derive(Debug)]
+pub enum IoError {
+    /// An operating-system I/O failure on a specific path.
+    Os {
+        /// What the substrate was doing (e.g. `"read"`, `"create"`).
+        op: &'static str,
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A file had an unexpected size or shape (e.g. not a multiple of 4
+    /// bytes for a `u32` stream).
+    Malformed {
+        /// The file involved.
+        path: PathBuf,
+        /// Human-readable description of the problem.
+        detail: String,
+    },
+    /// A requested memory budget is too small to make progress.
+    BudgetTooSmall {
+        /// Edges requested by the operation.
+        needed: usize,
+        /// Edges available under the budget.
+        available: usize,
+    },
+}
+
+impl IoError {
+    /// Wrap an OS error with operation and path context.
+    pub fn os(op: &'static str, path: impl Into<PathBuf>, source: std::io::Error) -> Self {
+        IoError::Os {
+            op,
+            path: path.into(),
+            source,
+        }
+    }
+
+    /// Build a `Malformed` error for `path`.
+    pub fn malformed(path: impl Into<PathBuf>, detail: impl Into<String>) -> Self {
+        IoError::Malformed {
+            path: path.into(),
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Os { op, path, source } => {
+                write!(f, "{op} {}: {source}", path.display())
+            }
+            IoError::Malformed { path, detail } => {
+                write!(f, "malformed file {}: {detail}", path.display())
+            }
+            IoError::BudgetTooSmall { needed, available } => write!(
+                f,
+                "memory budget too small: need {needed} edges, have {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Os { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_path_and_op() {
+        let e = IoError::os(
+            "read",
+            "/tmp/x.adj",
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        );
+        let s = e.to_string();
+        assert!(s.contains("read"), "{s}");
+        assert!(s.contains("/tmp/x.adj"), "{s}");
+    }
+
+    #[test]
+    fn display_malformed() {
+        let e = IoError::malformed("/tmp/x.deg", "size not a multiple of 4");
+        assert!(e.to_string().contains("multiple of 4"));
+    }
+
+    #[test]
+    fn display_budget() {
+        let e = IoError::BudgetTooSmall {
+            needed: 10,
+            available: 5,
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("5"));
+    }
+
+    #[test]
+    fn source_is_preserved() {
+        use std::error::Error;
+        let e = IoError::os(
+            "open",
+            "/f",
+            std::io::Error::new(std::io::ErrorKind::Other, "x"),
+        );
+        assert!(e.source().is_some());
+        let e2 = IoError::malformed("/f", "bad");
+        assert!(e2.source().is_none());
+    }
+}

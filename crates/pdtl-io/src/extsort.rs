@@ -1,0 +1,391 @@
+//! External merge sort for `u64` records.
+//!
+//! Raw graph inputs arrive as unsorted edge lists; PDTL's on-disk format
+//! requires adjacency sorted by (source, destination). An undirected edge
+//! `(u, v)` packs into a single `u64` as `(u << 32) | v`, so sorting the
+//! packed stream yields exactly the required order. This module implements
+//! the classic two-phase external merge sort of the Aggarwal–Vitter model:
+//! bounded-memory run formation followed by a k-way merge, with every byte
+//! counted through [`IoStats`].
+
+use std::collections::BinaryHeap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::error::{IoError, Result};
+use crate::stats::IoStats;
+
+const RECORD_BYTES: usize = 8;
+
+/// Sort the `u64` records in `input` into `output` using at most
+/// `mem_records` records of memory, returning the record count.
+///
+/// Run files are created next to `output` (suffix `.runN`) and removed on
+/// success. `input` and `output` may not alias.
+pub fn external_sort_u64(
+    input: &Path,
+    output: &Path,
+    mem_records: usize,
+    stats: &Arc<IoStats>,
+) -> Result<u64> {
+    if mem_records == 0 {
+        return Err(IoError::BudgetTooSmall {
+            needed: 1,
+            available: 0,
+        });
+    }
+    let runs = form_runs(input, output, mem_records, stats)?;
+    let total: u64 = runs.iter().map(|r| r.records).sum();
+    let run_paths: Vec<PathBuf> = runs.into_iter().map(|r| r.path).collect();
+    merge_sorted_files(&run_paths, output, stats)?;
+    for p in &run_paths {
+        let _ = std::fs::remove_file(p);
+    }
+    Ok(total)
+}
+
+struct Run {
+    path: PathBuf,
+    records: u64,
+}
+
+fn form_runs(
+    input: &Path,
+    output: &Path,
+    mem_records: usize,
+    stats: &Arc<IoStats>,
+) -> Result<Vec<Run>> {
+    let file = File::open(input).map_err(|e| IoError::os("open", input, e))?;
+    let mut reader = BufReader::with_capacity(1 << 16, file);
+    let mut runs = Vec::new();
+    let mut buf: Vec<u64> = Vec::with_capacity(mem_records);
+    let mut chunk = vec![0u8; RECORD_BYTES * 4096];
+
+    loop {
+        buf.clear();
+        let mut eof = false;
+        while buf.len() < mem_records {
+            let want = (mem_records - buf.len()).min(4096) * RECORD_BYTES;
+            let start = Instant::now();
+            let n = read_full(&mut reader, &mut chunk[..want])
+                .map_err(|e| IoError::os("read", input, e))?;
+            stats.record_read(n as u64, start.elapsed());
+            if n % RECORD_BYTES != 0 {
+                return Err(IoError::malformed(
+                    input,
+                    format!("trailing {} bytes (not a multiple of 8)", n % RECORD_BYTES),
+                ));
+            }
+            buf.extend(chunk[..n].chunks_exact(RECORD_BYTES).map(|c| {
+                u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]])
+            }));
+            if n < want {
+                eof = true;
+                break;
+            }
+        }
+        if buf.is_empty() {
+            break;
+        }
+        buf.sort_unstable();
+        let path = run_path(output, runs.len());
+        write_run(&path, &buf, stats)?;
+        runs.push(Run {
+            path,
+            records: buf.len() as u64,
+        });
+        if eof {
+            break;
+        }
+    }
+    if runs.is_empty() {
+        // Empty input still needs an empty run so the merge emits an
+        // empty (but present) output file.
+        let path = run_path(output, 0);
+        write_run(&path, &[], stats)?;
+        runs.push(Run { path, records: 0 });
+    }
+    Ok(runs)
+}
+
+fn run_path(output: &Path, idx: usize) -> PathBuf {
+    let mut os = output.as_os_str().to_os_string();
+    os.push(format!(".run{idx}"));
+    PathBuf::from(os)
+}
+
+fn write_run(path: &Path, records: &[u64], stats: &Arc<IoStats>) -> Result<()> {
+    let file = File::create(path).map_err(|e| IoError::os("create", path, e))?;
+    let mut w = BufWriter::with_capacity(1 << 16, file);
+    let start = Instant::now();
+    for &r in records {
+        w.write_all(&r.to_le_bytes())
+            .map_err(|e| IoError::os("write", path, e))?;
+    }
+    w.flush().map_err(|e| IoError::os("flush", path, e))?;
+    stats.record_write((records.len() * RECORD_BYTES) as u64, start.elapsed());
+    Ok(())
+}
+
+/// Read until `buf` is full or EOF; returns bytes read.
+fn read_full<R: Read>(r: &mut R, buf: &mut [u8]) -> std::io::Result<usize> {
+    let mut total = 0;
+    while total < buf.len() {
+        let n = r.read(&mut buf[total..])?;
+        if n == 0 {
+            break;
+        }
+        total += n;
+    }
+    Ok(total)
+}
+
+struct RunReader {
+    reader: BufReader<File>,
+    path: PathBuf,
+    head: Option<u64>,
+}
+
+impl RunReader {
+    fn open(path: &Path, stats: &Arc<IoStats>) -> Result<Self> {
+        let file = File::open(path).map_err(|e| IoError::os("open", path, e))?;
+        let mut rr = Self {
+            reader: BufReader::with_capacity(1 << 16, file),
+            path: path.to_path_buf(),
+            head: None,
+        };
+        rr.advance(stats)?;
+        Ok(rr)
+    }
+
+    fn advance(&mut self, stats: &Arc<IoStats>) -> Result<()> {
+        let mut b = [0u8; RECORD_BYTES];
+        let start = Instant::now();
+        let n = read_full(&mut self.reader, &mut b)
+            .map_err(|e| IoError::os("read", &self.path, e))?;
+        stats.record_read(n as u64, start.elapsed());
+        self.head = match n {
+            0 => None,
+            RECORD_BYTES => Some(u64::from_le_bytes(b)),
+            _ => {
+                return Err(IoError::malformed(&self.path, "truncated record"));
+            }
+        };
+        Ok(())
+    }
+}
+
+/// Heap entry ordered by smallest head first (BinaryHeap is a max-heap, so
+/// we reverse the comparison).
+struct HeapEntry {
+    head: u64,
+    run: usize,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.head == other.head && self.run == other.run
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .head
+            .cmp(&self.head)
+            .then_with(|| other.run.cmp(&self.run))
+    }
+}
+
+/// k-way merge of already-sorted `u64` record files into `output`.
+///
+/// Exposed separately so callers (e.g. parallel orientation) can sort
+/// shards independently and merge once.
+pub fn merge_sorted_files(inputs: &[PathBuf], output: &Path, stats: &Arc<IoStats>) -> Result<u64> {
+    let mut readers = Vec::with_capacity(inputs.len());
+    for p in inputs {
+        readers.push(RunReader::open(p, stats)?);
+    }
+    let mut heap = BinaryHeap::new();
+    for (i, r) in readers.iter().enumerate() {
+        if let Some(h) = r.head {
+            heap.push(HeapEntry { head: h, run: i });
+        }
+    }
+
+    let file = File::create(output).map_err(|e| IoError::os("create", output, e))?;
+    let mut w = BufWriter::with_capacity(1 << 16, file);
+    let mut written = 0u64;
+    let mut pending_bytes = 0u64;
+    let write_start = Instant::now();
+    while let Some(HeapEntry { head, run }) = heap.pop() {
+        w.write_all(&head.to_le_bytes())
+            .map_err(|e| IoError::os("write", output, e))?;
+        written += 1;
+        pending_bytes += RECORD_BYTES as u64;
+        readers[run].advance(stats)?;
+        if let Some(h) = readers[run].head {
+            heap.push(HeapEntry { head: h, run });
+        }
+    }
+    w.flush().map_err(|e| IoError::os("flush", output, e))?;
+    stats.record_write(pending_bytes, write_start.elapsed());
+    Ok(written)
+}
+
+/// Write `records` to `path` as raw little-endian `u64`s (test/workload
+/// helper for producing unsorted edge files).
+pub fn write_u64_records(path: &Path, records: &[u64], stats: &Arc<IoStats>) -> Result<()> {
+    write_run(path, records, stats)
+}
+
+/// Read an entire `u64` record file (helper for tests and verification).
+pub fn read_u64_records(path: &Path, stats: &Arc<IoStats>) -> Result<Vec<u64>> {
+    let file = File::open(path).map_err(|e| IoError::os("open", path, e))?;
+    let mut reader = BufReader::with_capacity(1 << 16, file);
+    let mut out = Vec::new();
+    let mut b = [0u8; RECORD_BYTES];
+    loop {
+        let start = Instant::now();
+        let n = read_full(&mut reader, &mut b).map_err(|e| IoError::os("read", path, e))?;
+        stats.record_read(n as u64, start.elapsed());
+        match n {
+            0 => break,
+            RECORD_BYTES => out.push(u64::from_le_bytes(b)),
+            _ => return Err(IoError::malformed(path, "truncated record")),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("pdtl-extsort-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    fn sort_case(vals: &[u64], mem: usize, tag: &str) -> Vec<u64> {
+        let stats = IoStats::new();
+        let inp = tmp(&format!("{tag}-in"));
+        let out = tmp(&format!("{tag}-out"));
+        write_u64_records(&inp, vals, &stats).unwrap();
+        let n = external_sort_u64(&inp, &out, mem, &stats).unwrap();
+        assert_eq!(n, vals.len() as u64);
+        read_u64_records(&out, &stats).unwrap()
+    }
+
+    #[test]
+    fn sorts_fits_in_memory() {
+        let got = sort_case(&[5, 3, 9, 1, 1, 0], 100, "fit");
+        assert_eq!(got, vec![0, 1, 1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn sorts_with_many_runs() {
+        let vals: Vec<u64> = (0..5000).rev().collect();
+        let got = sort_case(&vals, 64, "runs");
+        let want: Vec<u64> = (0..5000).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn sorts_empty_input() {
+        let got = sort_case(&[], 16, "empty");
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn sorts_single_record() {
+        assert_eq!(sort_case(&[7], 1, "single"), vec![7]);
+    }
+
+    #[test]
+    fn mem_one_degenerate_runs() {
+        let got = sort_case(&[3, 1, 2], 1, "mem1");
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn duplicates_preserved() {
+        let got = sort_case(&[2, 2, 2, 1, 1], 2, "dups");
+        assert_eq!(got, vec![1, 1, 2, 2, 2]);
+    }
+
+    #[test]
+    fn zero_budget_rejected() {
+        let stats = IoStats::new();
+        let inp = tmp("zb-in");
+        write_u64_records(&inp, &[1], &stats).unwrap();
+        let err = external_sort_u64(&inp, &tmp("zb-out"), 0, &stats).unwrap_err();
+        assert!(matches!(err, IoError::BudgetTooSmall { .. }));
+    }
+
+    #[test]
+    fn run_files_are_cleaned_up() {
+        let stats = IoStats::new();
+        let inp = tmp("clean-in");
+        let out = tmp("clean-out");
+        write_u64_records(&inp, &(0..100u64).rev().collect::<Vec<_>>(), &stats).unwrap();
+        external_sort_u64(&inp, &out, 16, &stats).unwrap();
+        assert!(!run_path(&out, 0).exists());
+        assert!(!run_path(&out, 1).exists());
+    }
+
+    #[test]
+    fn io_is_counted() {
+        let stats = IoStats::new();
+        let inp = tmp("cnt-in");
+        let out = tmp("cnt-out");
+        let vals: Vec<u64> = (0..1000).rev().collect();
+        write_u64_records(&inp, &vals, &stats).unwrap();
+        stats.reset();
+        external_sort_u64(&inp, &out, 128, &stats).unwrap();
+        // Must read input once + runs once, write runs once + output once.
+        let bytes = (vals.len() * 8) as u64;
+        assert!(stats.bytes_read() >= 2 * bytes);
+        assert!(stats.bytes_written() >= 2 * bytes);
+    }
+
+    #[test]
+    fn merge_of_presorted_files() {
+        let stats = IoStats::new();
+        let a = tmp("m-a");
+        let b = tmp("m-b");
+        let out = tmp("m-out");
+        write_u64_records(&a, &[1, 4, 7], &stats).unwrap();
+        write_u64_records(&b, &[2, 3, 9], &stats).unwrap();
+        let n = merge_sorted_files(&[a, b], &out, &stats).unwrap();
+        assert_eq!(n, 6);
+        assert_eq!(read_u64_records(&out, &stats).unwrap(), vec![1, 2, 3, 4, 7, 9]);
+    }
+
+    #[test]
+    fn packed_edge_order_matches_src_dst() {
+        // Sorting packed (u << 32) | v is exactly (src, dst) order.
+        let edges = [(3u32, 1u32), (1, 9), (1, 2), (2, 0)];
+        let mut packed: Vec<u64> = edges
+            .iter()
+            .map(|&(u, v)| ((u as u64) << 32) | v as u64)
+            .collect();
+        let sorted = sort_case(&packed, 2, "packed");
+        packed.sort_unstable();
+        assert_eq!(sorted, packed);
+        let unpacked: Vec<(u32, u32)> = sorted
+            .iter()
+            .map(|&p| ((p >> 32) as u32, p as u32))
+            .collect();
+        assert_eq!(unpacked, vec![(1, 2), (1, 9), (2, 0), (3, 1)]);
+    }
+}

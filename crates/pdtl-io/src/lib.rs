@@ -1,0 +1,38 @@
+//! External-memory I/O substrate for PDTL.
+//!
+//! PDTL ([Giechaskiel, Panagopoulos, Yoneki; ICPP 2015]) is an
+//! external-memory algorithm analysed in the Aggarwal–Vitter I/O model: a
+//! disk transfers blocks of `B` bytes, a scan of `N` bytes costs
+//! `ceil(N / B)` I/Os and an external merge sort of `N` items costs
+//! `O((N/B) log_{M/B}(N/B))` I/Os. This crate provides the building blocks
+//! the rest of the workspace uses to *implement and account for* that
+//! model:
+//!
+//! * [`IoStats`] — shared atomic counters for bytes/ops/blocks and time
+//!   spent blocked on I/O, so the triangle engines can report the CPU vs
+//!   I/O breakdowns of the paper's Figures 6–8 and Table IV.
+//! * [`U32Reader`] / [`U32Writer`] — buffered little-endian `u32` streams
+//!   over files, the unit of every PDTL graph file (`.deg` / `.adj`).
+//! * [`external_sort_u64`] — a counted external merge sort used to bring
+//!   raw edge lists into the sorted PDTL format.
+//! * [`MemoryBudget`] — the per-processor memory parameter `M` (in edges)
+//!   from the paper's analysis, enforced by the MGT chunk loader.
+//! * [`CostModel`] — converts the counted work (CPU operations, I/O bytes,
+//!   network bytes) into deterministic *modeled seconds*, which is how the
+//!   scaling experiments reproduce the paper's curves on arbitrary hosts.
+
+pub mod budget;
+pub mod cost;
+pub mod error;
+pub mod extsort;
+pub mod stats;
+pub mod stream;
+pub mod timer;
+
+pub use budget::MemoryBudget;
+pub use cost::{CostModel, ModeledTime};
+pub use error::{IoError, Result};
+pub use extsort::{external_sort_u64, merge_sorted_files};
+pub use stats::IoStats;
+pub use stream::{U32Reader, U32Writer, BYTES_PER_U32};
+pub use timer::{CpuIoTimer, TimeBreakdown};

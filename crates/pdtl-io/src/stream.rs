@@ -1,0 +1,393 @@
+//! Buffered, counted little-endian `u32` file streams.
+//!
+//! Every PDTL graph file is a flat stream of little-endian `u32`s (degrees
+//! in `.deg`, neighbour ids in `.adj`), matching the binary format of the
+//! original MGT implementation the paper builds on. These wrappers add:
+//!
+//! * buffering in block-sized chunks, so the block-model accounting in
+//!   [`IoStats`] reflects real access patterns;
+//! * byte/op/time counting on every refill and flush;
+//! * positioned reads (`seek_to`), counted as seeks.
+
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::error::{IoError, Result};
+use crate::stats::IoStats;
+
+/// Size of one encoded `u32` in the on-disk format.
+pub const BYTES_PER_U32: u64 = 4;
+
+/// Default stream buffer: one 64 KiB block.
+const DEFAULT_BUF_U32S: usize = 16 * 1024;
+
+/// A buffered reader of little-endian `u32`s with I/O accounting.
+#[derive(Debug)]
+pub struct U32Reader {
+    file: File,
+    path: PathBuf,
+    stats: Arc<IoStats>,
+    buf: Vec<u8>,
+    /// Valid bytes in `buf`.
+    filled: usize,
+    /// Consumed bytes in `buf`.
+    pos: usize,
+    /// Total `u32`s in the file.
+    len_u32: u64,
+    /// Index of the next `u32` to be returned.
+    next_index: u64,
+}
+
+impl U32Reader {
+    /// Open `path` for reading with the default buffer size.
+    pub fn open(path: impl AsRef<Path>, stats: Arc<IoStats>) -> Result<Self> {
+        Self::with_buffer(path, stats, DEFAULT_BUF_U32S)
+    }
+
+    /// Open `path` with a buffer of `buf_u32s` values (minimum 1).
+    pub fn with_buffer(
+        path: impl AsRef<Path>,
+        stats: Arc<IoStats>,
+        buf_u32s: usize,
+    ) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::open(&path).map_err(|e| IoError::os("open", &path, e))?;
+        let meta = file.metadata().map_err(|e| IoError::os("stat", &path, e))?;
+        if meta.len() % BYTES_PER_U32 != 0 {
+            return Err(IoError::malformed(
+                &path,
+                format!("size {} is not a multiple of 4", meta.len()),
+            ));
+        }
+        Ok(Self {
+            file,
+            len_u32: meta.len() / BYTES_PER_U32,
+            path,
+            stats,
+            buf: vec![0u8; buf_u32s.max(1) * BYTES_PER_U32 as usize],
+            filled: 0,
+            pos: 0,
+            next_index: 0,
+        })
+    }
+
+    /// Total number of `u32`s in the file.
+    pub fn len_u32(&self) -> u64 {
+        self.len_u32
+    }
+
+    /// Index of the next value [`next`](Self::next) would return.
+    pub fn position(&self) -> u64 {
+        self.next_index
+    }
+
+    /// Reposition the stream to the `index`-th `u32`. Counted as a seek.
+    pub fn seek_to(&mut self, index: u64) -> Result<()> {
+        self.file
+            .seek(SeekFrom::Start(index * BYTES_PER_U32))
+            .map_err(|e| IoError::os("seek", &self.path, e))?;
+        self.stats.record_seek();
+        self.filled = 0;
+        self.pos = 0;
+        self.next_index = index;
+        Ok(())
+    }
+
+    fn refill(&mut self) -> Result<usize> {
+        let start = Instant::now();
+        let n = self
+            .file
+            .read(&mut self.buf)
+            .map_err(|e| IoError::os("read", &self.path, e))?;
+        self.stats.record_read(n as u64, start.elapsed());
+        self.filled = n;
+        self.pos = 0;
+        Ok(n)
+    }
+
+    /// Read the next value, or `None` at end of file.
+    ///
+    /// Deliberately named like `Iterator::next` — this is a fallible
+    /// streaming reader, not an iterator (it returns `Result<Option<_>>`).
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<u32>> {
+        if self.pos + 4 > self.filled {
+            // A partial trailing word cannot occur: file length is a
+            // multiple of 4 and refills always start 4-aligned.
+            if self.refill()? == 0 {
+                return Ok(None);
+            }
+        }
+        let b = &self.buf[self.pos..self.pos + 4];
+        self.pos += 4;
+        self.next_index += 1;
+        Ok(Some(u32::from_le_bytes([b[0], b[1], b[2], b[3]])))
+    }
+
+    /// Append up to `n` values onto `out`, returning how many were read
+    /// (less than `n` only at end of file).
+    pub fn read_into(&mut self, out: &mut Vec<u32>, n: usize) -> Result<usize> {
+        let mut got = 0usize;
+        while got < n {
+            if self.pos + 4 > self.filled
+                && self.refill()? == 0 {
+                    break;
+                }
+            let avail = (self.filled - self.pos) / 4;
+            let take = avail.min(n - got);
+            let bytes = &self.buf[self.pos..self.pos + take * 4];
+            out.extend(
+                bytes
+                    .chunks_exact(4)
+                    .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+            );
+            self.pos += take * 4;
+            got += take;
+        }
+        self.next_index += got as u64;
+        Ok(got)
+    }
+
+    /// Read the whole remaining file into a vector.
+    pub fn read_all(&mut self) -> Result<Vec<u32>> {
+        let remaining = (self.len_u32 - self.next_index) as usize;
+        let mut out = Vec::with_capacity(remaining);
+        self.read_into(&mut out, remaining)?;
+        Ok(out)
+    }
+
+    /// Skip `n` values without decoding them (buffered skip; long skips
+    /// fall back to a seek).
+    pub fn skip(&mut self, n: u64) -> Result<()> {
+        let buffered = ((self.filled - self.pos) / 4) as u64;
+        if n <= buffered {
+            self.pos += (n * 4) as usize;
+            self.next_index += n;
+            Ok(())
+        } else {
+            self.seek_to(self.next_index + n)
+        }
+    }
+}
+
+/// A buffered writer of little-endian `u32`s with I/O accounting.
+#[derive(Debug)]
+pub struct U32Writer {
+    file: File,
+    path: PathBuf,
+    stats: Arc<IoStats>,
+    buf: Vec<u8>,
+    written_u32: u64,
+}
+
+impl U32Writer {
+    /// Create (truncate) `path` for writing with the default buffer.
+    pub fn create(path: impl AsRef<Path>, stats: Arc<IoStats>) -> Result<Self> {
+        Self::with_buffer(path, stats, DEFAULT_BUF_U32S)
+    }
+
+    /// Create `path` with a buffer of `buf_u32s` values.
+    pub fn with_buffer(
+        path: impl AsRef<Path>,
+        stats: Arc<IoStats>,
+        buf_u32s: usize,
+    ) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::create(&path).map_err(|e| IoError::os("create", &path, e))?;
+        Ok(Self {
+            file,
+            path,
+            stats,
+            buf: Vec::with_capacity(buf_u32s.max(1) * BYTES_PER_U32 as usize),
+            written_u32: 0,
+        })
+    }
+
+    /// Number of values written so far (including buffered ones).
+    pub fn written_u32(&self) -> u64 {
+        self.written_u32
+    }
+
+    /// Append one value.
+    pub fn write(&mut self, v: u32) -> Result<()> {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self.written_u32 += 1;
+        if self.buf.len() == self.buf.capacity() {
+            self.flush_buf()?;
+        }
+        Ok(())
+    }
+
+    /// Append a slice of values.
+    pub fn write_all(&mut self, vs: &[u32]) -> Result<()> {
+        for &v in vs {
+            self.write(v)?;
+        }
+        Ok(())
+    }
+
+    fn flush_buf(&mut self) -> Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let start = Instant::now();
+        self.file
+            .write_all(&self.buf)
+            .map_err(|e| IoError::os("write", &self.path, e))?;
+        self.stats.record_write(self.buf.len() as u64, start.elapsed());
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Flush buffers and sync lengths; must be called before dropping if
+    /// the data matters (drop also flushes, but swallows errors).
+    pub fn finish(mut self) -> Result<u64> {
+        self.flush_buf()?;
+        self.file
+            .flush()
+            .map_err(|e| IoError::os("flush", &self.path, e))?;
+        Ok(self.written_u32)
+    }
+}
+
+impl Drop for U32Writer {
+    fn drop(&mut self) {
+        let _ = self.flush_buf();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("pdtl-io-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn round_trip_small() {
+        let p = tmp("rt-small");
+        let stats = IoStats::new();
+        let mut w = U32Writer::create(&p, stats.clone()).unwrap();
+        w.write_all(&[1, 2, 3, u32::MAX]).unwrap();
+        assert_eq!(w.finish().unwrap(), 4);
+
+        let mut r = U32Reader::open(&p, stats.clone()).unwrap();
+        assert_eq!(r.len_u32(), 4);
+        assert_eq!(r.read_all().unwrap(), vec![1, 2, 3, u32::MAX]);
+        assert_eq!(stats.bytes_written(), 16);
+        assert_eq!(stats.bytes_read(), 16);
+    }
+
+    #[test]
+    fn round_trip_crosses_buffer_boundary() {
+        let p = tmp("rt-buf");
+        let stats = IoStats::new();
+        let vals: Vec<u32> = (0..10_000).collect();
+        let mut w = U32Writer::with_buffer(&p, stats.clone(), 7).unwrap();
+        w.write_all(&vals).unwrap();
+        w.finish().unwrap();
+
+        let mut r = U32Reader::with_buffer(&p, stats.clone(), 13).unwrap();
+        assert_eq!(r.read_all().unwrap(), vals);
+    }
+
+    #[test]
+    fn next_iterates_in_order() {
+        let p = tmp("next");
+        let stats = IoStats::new();
+        let mut w = U32Writer::create(&p, stats.clone()).unwrap();
+        w.write_all(&[10, 20, 30]).unwrap();
+        w.finish().unwrap();
+
+        let mut r = U32Reader::open(&p, stats).unwrap();
+        assert_eq!(r.next().unwrap(), Some(10));
+        assert_eq!(r.position(), 1);
+        assert_eq!(r.next().unwrap(), Some(20));
+        assert_eq!(r.next().unwrap(), Some(30));
+        assert_eq!(r.next().unwrap(), None);
+        assert_eq!(r.next().unwrap(), None);
+    }
+
+    #[test]
+    fn seek_and_skip() {
+        let p = tmp("seek");
+        let stats = IoStats::new();
+        let vals: Vec<u32> = (100..200).collect();
+        let mut w = U32Writer::create(&p, stats.clone()).unwrap();
+        w.write_all(&vals).unwrap();
+        w.finish().unwrap();
+
+        let mut r = U32Reader::with_buffer(&p, stats.clone(), 8).unwrap();
+        r.seek_to(50).unwrap();
+        assert_eq!(r.next().unwrap(), Some(150));
+        assert_eq!(stats.seeks(), 1);
+        // short skip stays inside the buffer (8-u32 buffer holds 151..=157)
+        r.skip(2).unwrap();
+        assert_eq!(r.next().unwrap(), Some(153));
+        // long skip falls back to seek
+        r.skip(40).unwrap();
+        assert_eq!(r.next().unwrap(), Some(194));
+        assert_eq!(stats.seeks(), 2);
+    }
+
+    #[test]
+    fn read_into_partial_at_eof() {
+        let p = tmp("partial");
+        let stats = IoStats::new();
+        let mut w = U32Writer::create(&p, stats.clone()).unwrap();
+        w.write_all(&[1, 2, 3]).unwrap();
+        w.finish().unwrap();
+
+        let mut r = U32Reader::open(&p, stats).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(r.read_into(&mut out, 10).unwrap(), 3);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn rejects_non_u32_sized_file() {
+        let p = tmp("badsize");
+        std::fs::write(&p, [0u8; 5]).unwrap();
+        let err = U32Reader::open(&p, IoStats::new()).unwrap_err();
+        assert!(err.to_string().contains("multiple of 4"));
+    }
+
+    #[test]
+    fn missing_file_error_names_path() {
+        let p = tmp("does-not-exist-xyz");
+        let _ = std::fs::remove_file(&p);
+        let err = U32Reader::open(&p, IoStats::new()).unwrap_err();
+        assert!(err.to_string().contains("does-not-exist-xyz"));
+    }
+
+    #[test]
+    fn drop_flushes_buffered_writes() {
+        let p = tmp("dropflush");
+        let stats = IoStats::new();
+        {
+            let mut w = U32Writer::with_buffer(&p, stats.clone(), 1024).unwrap();
+            w.write(42).unwrap();
+            // no finish(): Drop must flush
+        }
+        let mut r = U32Reader::open(&p, stats).unwrap();
+        assert_eq!(r.read_all().unwrap(), vec![42]);
+    }
+
+    #[test]
+    fn io_time_is_recorded() {
+        let p = tmp("iotime");
+        let stats = IoStats::new();
+        let mut w = U32Writer::create(&p, stats.clone()).unwrap();
+        w.write_all(&(0..100u32).collect::<Vec<_>>()).unwrap();
+        w.finish().unwrap();
+        let mut r = U32Reader::open(&p, stats.clone()).unwrap();
+        r.read_all().unwrap();
+        assert!(stats.io_time() > std::time::Duration::ZERO);
+    }
+}

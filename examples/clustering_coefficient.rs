@@ -1,0 +1,61 @@
+//! Social-network analysis: clustering coefficients and transitivity
+//! from an exact PDTL triangle listing.
+//!
+//! This is the paper's motivating application (§I): clustering
+//! coefficients find high-density nodes and flag fake accounts — sybil
+//! detection works because genuine users' friends know each other
+//! (high local clustering) while a sybil's victims don't.
+//!
+//! ```text
+//! cargo run --release --example clustering_coefficient
+//! ```
+
+use pdtl::analytics::clustering;
+use pdtl::core::{BalanceStrategy, LocalConfig, LocalRunner};
+use pdtl::graph::datasets::Dataset;
+use pdtl::graph::DiskGraph;
+use pdtl::io::{IoStats, MemoryBudget};
+
+fn main() {
+    // An Orkut-like community graph (dense, high clustering).
+    let graph = Dataset::Orkut.build_scaled(0.1).expect("generate");
+    let dir = std::env::temp_dir().join("pdtl-clustering");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let stats = IoStats::new();
+    let input = DiskGraph::write(&graph, dir.join("orkut"), &stats).expect("write");
+
+    // Full triangle *listing* (not just counting) across 4 cores.
+    let runner = LocalRunner::new(LocalConfig {
+        cores: 4,
+        budget: MemoryBudget::edges(16 << 10),
+        balance: BalanceStrategy::InDegree,
+    })
+    .expect("config");
+    let (report, triangles) = runner.run_listing(&input, &dir).expect("run");
+    println!(
+        "listed {} triangles in {:?}",
+        triangles.len(),
+        report.wall
+    );
+
+    let analysis = clustering::analyze(&graph, &triangles);
+    println!("global clustering coefficient : {:.4}", analysis.global);
+    println!("transitivity ratio            : {:.4}", analysis.transitivity);
+
+    // The most and least clustered well-connected vertices.
+    let mut ranked: Vec<(u32, f64)> = (0..graph.num_vertices())
+        .filter(|&v| graph.degree(v) >= 10)
+        .map(|v| (v, analysis.local[v as usize]))
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    println!("\nmost clustered vertices (degree >= 10):");
+    for &(v, c) in ranked.iter().take(5) {
+        println!("  v{v:<8} degree {:<5} C = {c:.4}", graph.degree(v));
+    }
+    println!("least clustered (possible sybils / spam hubs):");
+    for &(v, c) in ranked.iter().rev().take(5) {
+        println!("  v{v:<8} degree {:<5} C = {c:.4}", graph.degree(v));
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

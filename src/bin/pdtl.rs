@@ -1,0 +1,26 @@
+//! The `pdtl` command-line tool: generate, import, inspect and count.
+//!
+//! ```text
+//! pdtl gen rmat-12 /data/rmat12
+//! pdtl import edges.txt /data/mygraph
+//! pdtl stats /data/mygraph
+//! pdtl count /data/mygraph --cores 8 --memory 1048576
+//! pdtl cluster /data/mygraph --nodes 4 --cores 4 --tcp
+//! pdtl list /data/mygraph /data/triangles.bin
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match pdtl::cli::parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let mut stdout = std::io::stdout();
+    if let Err(e) = pdtl::cli::run(cmd, &mut stdout) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

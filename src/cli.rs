@@ -1,0 +1,524 @@
+//! Command-line interface logic for the `pdtl` binary.
+//!
+//! Subcommands:
+//!
+//! * `gen <dataset> <out-base> [--scale f] [--seed s]` — generate a
+//!   dataset stand-in into PDTL binary format;
+//! * `import <edges.txt> <out-base>` — convert a SNAP text edge list;
+//! * `export <base> <edges.txt>` — write a graph back to text;
+//! * `stats <base>` — print the Table-I row of a graph;
+//! * `count <base> [--cores p] [--memory edges] [--naive]` — multicore
+//!   exact count;
+//! * `cluster <base> [--nodes n] [--cores p] [--memory edges] [--tcp]` —
+//!   distributed exact count;
+//! * `list <base> <out.bin> [--cores p]` — triangle listing to file.
+//!
+//! Parsing is kept dependency-free and fully unit-tested; the binary is
+//! a thin wrapper around [`run`].
+
+use std::path::{Path, PathBuf};
+
+use pdtl_cluster::{ClusterConfig, ClusterRunner, TransportKind};
+use pdtl_core::{BalanceStrategy, LocalConfig, LocalRunner};
+use pdtl_graph::datasets::Dataset;
+use pdtl_graph::{DiskGraph, GraphStats};
+use pdtl_io::{IoStats, MemoryBudget};
+
+/// A parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Generate a named dataset.
+    Gen {
+        /// Dataset name (`livejournal|orkut|twitter|yahoo|rmat-K`).
+        dataset: String,
+        /// Output base path.
+        out: PathBuf,
+        /// Scale factor.
+        scale: f64,
+    },
+    /// Import a text edge list.
+    Import {
+        /// Input text file.
+        input: PathBuf,
+        /// Output base path.
+        out: PathBuf,
+    },
+    /// Export to a text edge list.
+    Export {
+        /// Input base path.
+        base: PathBuf,
+        /// Output text file.
+        out: PathBuf,
+    },
+    /// Print dataset statistics.
+    Stats {
+        /// Input base path.
+        base: PathBuf,
+    },
+    /// Local multicore count.
+    Count {
+        /// Input base path.
+        base: PathBuf,
+        /// Cores.
+        cores: usize,
+        /// Memory budget in edges.
+        memory: usize,
+        /// Use the naive equal-edges split.
+        naive: bool,
+    },
+    /// Distributed count.
+    Cluster {
+        /// Input base path.
+        base: PathBuf,
+        /// Nodes.
+        nodes: usize,
+        /// Cores per node.
+        cores: usize,
+        /// Memory budget in edges.
+        memory: usize,
+        /// Use TCP transport.
+        tcp: bool,
+    },
+    /// Triangle listing to a binary file.
+    List {
+        /// Input base path.
+        base: PathBuf,
+        /// Output triangle file.
+        out: PathBuf,
+        /// Cores.
+        cores: usize,
+    },
+}
+
+/// Usage text.
+pub const USAGE: &str = "usage: pdtl <gen|import|export|stats|count|cluster|list> ... \
+(see crate docs for flags)";
+
+/// Parse an argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let mut pos: Vec<&String> = Vec::new();
+    let mut flags: std::collections::HashMap<String, String> = Default::default();
+    let mut bools: std::collections::HashSet<String> = Default::default();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            match name {
+                "naive" | "tcp" => {
+                    bools.insert(name.to_string());
+                }
+                _ => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                    flags.insert(name.to_string(), v.clone());
+                }
+            }
+        } else {
+            pos.push(a);
+        }
+    }
+    let get_usize = |flags: &std::collections::HashMap<String, String>,
+                     key: &str,
+                     default: usize|
+     -> Result<usize, String> {
+        match flags.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad --{key}: {v:?}")),
+        }
+    };
+    let cmd = pos.first().ok_or(USAGE.to_string())?.as_str();
+    let need = |i: usize, what: &str| -> Result<PathBuf, String> {
+        pos.get(i)
+            .map(PathBuf::from)
+            .ok_or(format!("{cmd}: missing {what}"))
+    };
+    match cmd {
+        "gen" => Ok(Command::Gen {
+            dataset: pos
+                .get(1)
+                .ok_or("gen: missing dataset name".to_string())?
+                .to_string(),
+            out: need(2, "output base")?,
+            scale: match flags.get("scale") {
+                None => 1.0,
+                Some(v) => v.parse().map_err(|_| format!("bad --scale: {v:?}"))?,
+            },
+        }),
+        "import" => Ok(Command::Import {
+            input: need(1, "input file")?,
+            out: need(2, "output base")?,
+        }),
+        "export" => Ok(Command::Export {
+            base: need(1, "input base")?,
+            out: need(2, "output file")?,
+        }),
+        "stats" => Ok(Command::Stats {
+            base: need(1, "input base")?,
+        }),
+        "count" => Ok(Command::Count {
+            base: need(1, "input base")?,
+            cores: get_usize(&flags, "cores", 4)?,
+            memory: get_usize(&flags, "memory", 1 << 20)?,
+            naive: bools.contains("naive"),
+        }),
+        "cluster" => Ok(Command::Cluster {
+            base: need(1, "input base")?,
+            nodes: get_usize(&flags, "nodes", 2)?,
+            cores: get_usize(&flags, "cores", 2)?,
+            memory: get_usize(&flags, "memory", 1 << 20)?,
+            tcp: bools.contains("tcp"),
+        }),
+        "list" => Ok(Command::List {
+            base: need(1, "input base")?,
+            out: need(2, "output file")?,
+            cores: get_usize(&flags, "cores", 4)?,
+        }),
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+}
+
+/// Resolve a dataset name.
+pub fn dataset_by_name(name: &str) -> Result<Dataset, String> {
+    let lower = name.to_ascii_lowercase();
+    if let Some(k) = lower.strip_prefix("rmat-") {
+        let k: u32 = k.parse().map_err(|_| format!("bad RMAT scale {k:?}"))?;
+        if k >= 31 {
+            return Err("RMAT scale must be < 31".to_string());
+        }
+        return Ok(Dataset::Rmat(k));
+    }
+    match lower.as_str() {
+        "livejournal" | "livej1" | "lj" => Ok(Dataset::LiveJournal),
+        "orkut" => Ok(Dataset::Orkut),
+        "twitter" => Ok(Dataset::Twitter),
+        "yahoo" => Ok(Dataset::Yahoo),
+        other => Err(format!(
+            "unknown dataset {other:?} (livejournal|orkut|twitter|yahoo|rmat-K)"
+        )),
+    }
+}
+
+fn work_dir(base: &Path, tag: &str) -> PathBuf {
+    let name = base
+        .file_name()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "graph".into());
+    std::env::temp_dir().join(format!("pdtl-cli-{tag}-{name}-{}", std::process::id()))
+}
+
+/// Execute a parsed command, writing human output via `out`.
+pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String> {
+    let stats = IoStats::new();
+    let fail = |e: &dyn std::fmt::Display| e.to_string();
+    match cmd {
+        Command::Gen {
+            dataset,
+            out: base,
+            scale,
+        } => {
+            let ds = dataset_by_name(&dataset)?;
+            let g = ds.build_scaled(scale).map_err(|e| fail(&e))?;
+            let dg = DiskGraph::write(&g, &base, &stats).map_err(|e| fail(&e))?;
+            writeln!(
+                out,
+                "wrote {} ({} vertices, {} edges)",
+                dg.base().display(),
+                g.num_vertices(),
+                g.num_edges()
+            )
+            .map_err(|e| fail(&e))
+        }
+        Command::Import { input, out: base } => {
+            let dg =
+                pdtl_graph::text::import_edge_list(&input, &base, &stats).map_err(|e| fail(&e))?;
+            writeln!(
+                out,
+                "imported {} vertices, {} adjacency entries",
+                dg.num_vertices(),
+                dg.adj_len()
+            )
+            .map_err(|e| fail(&e))
+        }
+        Command::Export { base, out: path } => {
+            let dg = DiskGraph::open(&base, &stats).map_err(|e| fail(&e))?;
+            let g = dg.load_csr(&stats).map_err(|e| fail(&e))?;
+            pdtl_graph::text::write_edge_list(&g, &path).map_err(|e| fail(&e))?;
+            writeln!(out, "exported {} edges to {}", g.num_edges(), path.display())
+                .map_err(|e| fail(&e))
+        }
+        Command::Stats { base } => {
+            let dg = DiskGraph::open(&base, &stats).map_err(|e| fail(&e))?;
+            let g = dg.load_csr(&stats).map_err(|e| fail(&e))?;
+            writeln!(out, "{}", GraphStats::header()).map_err(|e| fail(&e))?;
+            let name = base
+                .file_name()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            writeln!(out, "{}", GraphStats::compute(name, &g).row()).map_err(|e| fail(&e))
+        }
+        Command::Count {
+            base,
+            cores,
+            memory,
+            naive,
+        } => {
+            let dg = DiskGraph::open(&base, &stats).map_err(|e| fail(&e))?;
+            let runner = LocalRunner::new(LocalConfig {
+                cores,
+                budget: MemoryBudget::edges(memory),
+                balance: if naive {
+                    BalanceStrategy::EqualEdges
+                } else {
+                    BalanceStrategy::InDegree
+                },
+            })
+            .map_err(|e| fail(&e))?;
+            let dir = work_dir(&base, "count");
+            let report = runner.run(&dg, &dir).map_err(|e| fail(&e))?;
+            let _ = std::fs::remove_dir_all(&dir);
+            writeln!(
+                out,
+                "triangles: {}\nwall: {:?} (orientation {:?}, calc {:?})",
+                report.triangles,
+                report.wall,
+                report.orientation.breakdown.wall,
+                report.calc_wall()
+            )
+            .map_err(|e| fail(&e))
+        }
+        Command::Cluster {
+            base,
+            nodes,
+            cores,
+            memory,
+            tcp,
+        } => {
+            let dg = DiskGraph::open(&base, &stats).map_err(|e| fail(&e))?;
+            let runner = ClusterRunner::new(ClusterConfig {
+                nodes,
+                cores_per_node: cores,
+                budget: MemoryBudget::edges(memory),
+                transport: if tcp {
+                    TransportKind::Tcp
+                } else {
+                    TransportKind::InProc
+                },
+                ..Default::default()
+            })
+            .map_err(|e| fail(&e))?;
+            let dir = work_dir(&base, "cluster");
+            let report = runner.run(&dg, &dir).map_err(|e| fail(&e))?;
+            let _ = std::fs::remove_dir_all(&dir);
+            writeln!(
+                out,
+                "triangles: {}\nwall: {:?} (calc {:?}, avg copy {:?})\nnetwork: {} bytes",
+                report.triangles,
+                report.wall,
+                report.calc_wall(),
+                report.avg_copy(),
+                report.network.total()
+            )
+            .map_err(|e| fail(&e))
+        }
+        Command::List {
+            base,
+            out: path,
+            cores,
+        } => {
+            let dg = DiskGraph::open(&base, &stats).map_err(|e| fail(&e))?;
+            let runner = LocalRunner::new(LocalConfig {
+                cores,
+                budget: MemoryBudget::default(),
+                balance: BalanceStrategy::InDegree,
+            })
+            .map_err(|e| fail(&e))?;
+            let dir = work_dir(&base, "list");
+            let (report, triangles) = runner.run_listing(&dg, &dir).map_err(|e| fail(&e))?;
+            let _ = std::fs::remove_dir_all(&dir);
+            let sink_stats = IoStats::new();
+            let mut sink =
+                pdtl_core::sink::FileSink::create(&path, sink_stats).map_err(|e| fail(&e))?;
+            use pdtl_core::sink::TriangleSink;
+            for (u, v, w) in triangles {
+                sink.emit(u, v, w);
+            }
+            let written = sink.finish().map_err(|e| fail(&e))?;
+            writeln!(
+                out,
+                "listed {} triangles to {} ({} bytes)",
+                report.triangles,
+                path.display(),
+                written * 12
+            )
+            .map_err(|e| fail(&e))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("pdtl-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn parses_gen() {
+        let cmd = parse(&args("gen rmat-8 /tmp/g --scale 0.5")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Gen {
+                dataset: "rmat-8".into(),
+                out: "/tmp/g".into(),
+                scale: 0.5
+            }
+        );
+    }
+
+    #[test]
+    fn parses_count_with_flags() {
+        let cmd = parse(&args("count /tmp/g --cores 8 --memory 4096 --naive")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Count {
+                base: "/tmp/g".into(),
+                cores: 8,
+                memory: 4096,
+                naive: true
+            }
+        );
+    }
+
+    #[test]
+    fn parses_cluster_defaults() {
+        let cmd = parse(&args("cluster /tmp/g")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Cluster {
+                base: "/tmp/g".into(),
+                nodes: 2,
+                cores: 2,
+                memory: 1 << 20,
+                tcp: false
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&args("")).is_err());
+        assert!(parse(&args("frobnicate x")).is_err());
+        assert!(parse(&args("gen")).is_err());
+        assert!(parse(&args("count /g --cores notanumber")).is_err());
+        assert!(parse(&args("count /g --memory")).is_err());
+    }
+
+    #[test]
+    fn dataset_names_resolve() {
+        assert_eq!(dataset_by_name("twitter").unwrap(), Dataset::Twitter);
+        assert_eq!(dataset_by_name("LJ").unwrap(), Dataset::LiveJournal);
+        assert_eq!(dataset_by_name("rmat-9").unwrap(), Dataset::Rmat(9));
+        assert!(dataset_by_name("rmat-99").is_err());
+        assert!(dataset_by_name("facebook").is_err());
+    }
+
+    #[test]
+    fn end_to_end_gen_stats_count() {
+        let base = tmp("e2e");
+        let mut out = Vec::new();
+        run(
+            Command::Gen {
+                dataset: "rmat-7".into(),
+                out: base.clone(),
+                scale: 1.0,
+            },
+            &mut out,
+        )
+        .unwrap();
+        run(Command::Stats { base: base.clone() }, &mut out).unwrap();
+        run(
+            Command::Count {
+                base: base.clone(),
+                cores: 2,
+                memory: 1024,
+                naive: false,
+            },
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("wrote"));
+        assert!(text.contains("MaxDeg"));
+        assert!(text.contains("triangles:"));
+        // the reported count matches the oracle
+        let g = Dataset::Rmat(7).build().unwrap();
+        let expected = pdtl_graph::verify::triangle_count(&g);
+        assert!(text.contains(&format!("triangles: {expected}")));
+    }
+
+    #[test]
+    fn end_to_end_import_export_cluster_list() {
+        let g = Dataset::Rmat(6).build().unwrap();
+        let txt = tmp("roundtrip.txt");
+        pdtl_graph::text::write_edge_list(&g, &txt).unwrap();
+        let base = tmp("imported");
+        let mut out = Vec::new();
+        run(
+            Command::Import {
+                input: txt.clone(),
+                out: base.clone(),
+            },
+            &mut out,
+        )
+        .unwrap();
+        run(
+            Command::Cluster {
+                base: base.clone(),
+                nodes: 2,
+                cores: 2,
+                memory: 512,
+                tcp: false,
+            },
+            &mut out,
+        )
+        .unwrap();
+        let listing = tmp("tri.bin");
+        run(
+            Command::List {
+                base: base.clone(),
+                out: listing.clone(),
+                cores: 2,
+            },
+            &mut out,
+        )
+        .unwrap();
+        let exported = tmp("exported.txt");
+        run(
+            Command::Export {
+                base,
+                out: exported.clone(),
+            },
+            &mut out,
+        )
+        .unwrap();
+
+        let text = String::from_utf8(out).unwrap();
+        let expected = pdtl_graph::verify::triangle_count(&g);
+        assert!(text.contains(&format!("triangles: {expected}")));
+        assert!(text.contains("listed"));
+        // exported file re-imports to the same graph
+        let (g2, _) = pdtl_graph::text::read_edge_list(&exported).unwrap();
+        assert_eq!(pdtl_graph::verify::triangle_count(&g2), expected);
+        // listing file has the right record count
+        let stats = IoStats::new();
+        let listed = pdtl_core::sink::read_triangle_file(&listing, stats).unwrap();
+        assert_eq!(listed.len() as u64, expected);
+    }
+}
