@@ -116,7 +116,10 @@ mod tests {
         let exact = triangle_count(&g) as f64;
         let mean = doulion_mean(&g, 0.6, 8, 13).unwrap();
         let rel = (mean - exact).abs() / exact;
-        assert!(rel < 0.2, "relative error {rel} (exact {exact}, est {mean})");
+        assert!(
+            rel < 0.2,
+            "relative error {rel} (exact {exact}, est {mean})"
+        );
     }
 
     #[test]

@@ -152,7 +152,7 @@ mod tests {
         let closed = c.insert(u, v).unwrap();
         assert_eq!(broken, closed);
         assert_eq!(c.triangles(), triangle_count(&g));
-        assert_eq!(c.delete(u, v).is_some(), true);
+        assert!(c.delete(u, v).is_some());
         assert_eq!(c.delete(u, v), None, "double delete rejected");
     }
 

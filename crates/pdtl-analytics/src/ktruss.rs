@@ -174,8 +174,7 @@ mod tests {
             if edges.is_empty() {
                 continue;
             }
-            let edge_set: std::collections::HashSet<(u32, u32)> =
-                edges.iter().copied().collect();
+            let edge_set: std::collections::HashSet<(u32, u32)> = edges.iter().copied().collect();
             let mut adj: HashMap<u32, Vec<u32>> = HashMap::new();
             for &(u, v) in &edges {
                 adj.entry(u).or_default().push(v);

@@ -99,11 +99,8 @@ pub fn run(g: &Graph, config: CttpConfig) -> Result<CttpReport> {
                         std::cmp::Ordering::Equal => {
                             let w = nu[i];
                             if w > v {
-                                let mut cols = [
-                                    color(u, n, rho),
-                                    color(v, n, rho),
-                                    color(w, n, rho),
-                                ];
+                                let mut cols =
+                                    [color(u, n, rho), color(v, n, rho), color(w, n, rho)];
                                 cols.sort_unstable();
                                 if cols == [a, b, c] {
                                     triangles += 1;
@@ -140,14 +137,7 @@ mod tests {
         let g = rmat(7, 101).unwrap();
         let expected = triangle_count(&g);
         for rho in [1usize, 2, 3, 5] {
-            let r = run(
-                &g,
-                CttpConfig {
-                    rho,
-                    reducers: 4,
-                },
-            )
-            .unwrap();
+            let r = run(&g, CttpConfig { rho, reducers: 4 }).unwrap();
             assert_eq!(r.triangles, expected, "rho={rho}");
         }
     }
@@ -155,10 +145,24 @@ mod tests {
     #[test]
     fn fixture_counts() {
         let g = complete(10).unwrap();
-        let r = run(&g, CttpConfig { rho: 3, reducers: 2 }).unwrap();
+        let r = run(
+            &g,
+            CttpConfig {
+                rho: 3,
+                reducers: 2,
+            },
+        )
+        .unwrap();
         assert_eq!(r.triangles, 120);
         let g = wheel(9).unwrap();
-        let r = run(&g, CttpConfig { rho: 2, reducers: 1 }).unwrap();
+        let r = run(
+            &g,
+            CttpConfig {
+                rho: 2,
+                reducers: 1,
+            },
+        )
+        .unwrap();
         assert_eq!(r.triangles, 8);
     }
 
@@ -168,8 +172,22 @@ mod tests {
         // intermediate-data problem the paper cites.
         let g = rmat(7, 102).unwrap();
         let m = g.num_edges();
-        let r1 = run(&g, CttpConfig { rho: 1, reducers: 1 }).unwrap();
-        let r5 = run(&g, CttpConfig { rho: 5, reducers: 4 }).unwrap();
+        let r1 = run(
+            &g,
+            CttpConfig {
+                rho: 1,
+                reducers: 1,
+            },
+        )
+        .unwrap();
+        let r5 = run(
+            &g,
+            CttpConfig {
+                rho: 5,
+                reducers: 4,
+            },
+        )
+        .unwrap();
         assert_eq!(r1.shuffle_records, m, "rho=1 ships each edge once");
         assert!(
             r5.shuffle_records > 3 * m,
@@ -182,7 +200,14 @@ mod tests {
     #[test]
     fn rounds_depend_on_reducers() {
         let g = wheel(10).unwrap();
-        let r = run(&g, CttpConfig { rho: 4, reducers: 5 }).unwrap();
+        let r = run(
+            &g,
+            CttpConfig {
+                rho: 4,
+                reducers: 5,
+            },
+        )
+        .unwrap();
         // C(4+2,3) = 20 triples over 5 reducers = 4 rounds
         assert_eq!(r.triples, 20);
         assert_eq!(r.rounds, 4);
@@ -191,7 +216,21 @@ mod tests {
     #[test]
     fn invalid_config_rejected() {
         let g = wheel(5).unwrap();
-        assert!(run(&g, CttpConfig { rho: 0, reducers: 1 }).is_err());
-        assert!(run(&g, CttpConfig { rho: 1, reducers: 0 }).is_err());
+        assert!(run(
+            &g,
+            CttpConfig {
+                rho: 0,
+                reducers: 1
+            }
+        )
+        .is_err());
+        assert!(run(
+            &g,
+            CttpConfig {
+                rho: 1,
+                reducers: 0
+            }
+        )
+        .is_err());
     }
 }

@@ -177,11 +177,7 @@ pub fn count(
     })
 }
 
-fn out_of_core_count(
-    db: &OptDatabase,
-    budget: MemoryBudget,
-    stats: &Arc<IoStats>,
-) -> Result<u64> {
+fn out_of_core_count(db: &OptDatabase, budget: MemoryBudget, stats: &Arc<IoStats>) -> Result<u64> {
     let offsets = &db.offsets;
     let n = (offsets.len() - 1) as u32;
     let batch_edges = budget.chunk_edges().max(1) as u64;
@@ -286,7 +282,7 @@ mod tests {
 
         let ostats = IoStats::new();
         let input2 = DiskGraph::open(tmpbase("heavy-in"), &ostats).unwrap();
-        pdtl_core::orient::orient_to_disk(&input2, &tmpbase("heavy-orient"), 1, &ostats).unwrap();
+        pdtl_core::orient::orient_to_disk(&input2, tmpbase("heavy-orient"), 1, &ostats).unwrap();
         assert!(
             db.creation_bytes > 2 * ostats.total_bytes(),
             "db creation {} should dwarf orientation {}",

@@ -160,12 +160,7 @@ pub fn partition_bounds(g: &Graph, config: PatricConfig) -> Vec<(u32, u32)> {
     let p = config.processors as u64;
     match config.balance {
         PatricBalance::ByVertices => (0..p)
-            .map(|i| {
-                (
-                    (n as u64 * i / p) as u32,
-                    (n as u64 * (i + 1) / p) as u32,
-                )
-            })
+            .map(|i| ((n as u64 * i / p) as u32, (n as u64 * (i + 1) / p) as u32))
             .collect(),
         PatricBalance::ByDegreeSum => {
             let offsets = pdtl_graph::disk::offsets_from_degrees(&g.degrees());

@@ -115,12 +115,7 @@ impl DistributedGraph {
     }
 }
 
-fn greedy_choice(
-    hu: &[u16],
-    hv: &[u16],
-    loads: &[u64],
-    rng: &mut SplitMix64,
-) -> usize {
+fn greedy_choice(hu: &[u16], hv: &[u16], loads: &[u64], rng: &mut SplitMix64) -> usize {
     // Case 1: a machine hosts both endpoints.
     let both: Vec<u16> = hu.iter().copied().filter(|m| hv.contains(m)).collect();
     let candidates: &[u16] = if !both.is_empty() {
@@ -261,11 +256,7 @@ pub fn run_gas<P: VertexProgram>(
             machine_bytes[m as usize] += bytes;
         }
     }
-    if let Some((m, &bytes)) = machine_bytes
-        .iter()
-        .enumerate()
-        .max_by_key(|&(_, b)| *b)
-    {
+    if let Some((m, &bytes)) = machine_bytes.iter().enumerate().max_by_key(|&(_, b)| *b) {
         if bytes > memory_bytes {
             let _ = m;
             return Err(BaselineError::OutOfMemory {

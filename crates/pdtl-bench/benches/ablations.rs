@@ -112,18 +112,12 @@ fn bench_gallop_crossover(c: &mut Criterion) {
         // adjacency lists are), so the linear merge cannot early-exit
         let stride = (100_000 / small_len) as u32;
         let small: Vec<u32> = (0..small_len as u32).map(|i| i * stride + 1).collect();
-        group.bench_with_input(
-            BenchmarkId::new("linear", small_len),
-            &small,
-            |b, small| b.iter(|| intersect_visit(black_box(small), black_box(&large), |_| {})),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("gallop", small_len),
-            &small,
-            |b, small| {
-                b.iter(|| intersect_gallop_visit(black_box(small), black_box(&large), |_| {}))
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("linear", small_len), &small, |b, small| {
+            b.iter(|| intersect_visit(black_box(small), black_box(&large), |_| {}))
+        });
+        group.bench_with_input(BenchmarkId::new("gallop", small_len), &small, |b, small| {
+            b.iter(|| intersect_gallop_visit(black_box(small), black_box(&large), |_| {}))
+        });
     }
     group.finish();
 }

@@ -75,9 +75,15 @@ fn bench_engines(c: &mut Criterion) {
 
     group.bench_function("cttp_rho3", |b| {
         b.iter(|| {
-            cttp::run(black_box(&g), cttp::CttpConfig { rho: 3, reducers: 4 })
-                .unwrap()
-                .triangles
+            cttp::run(
+                black_box(&g),
+                cttp::CttpConfig {
+                    rho: 3,
+                    reducers: 4,
+                },
+            )
+            .unwrap()
+            .triangles
         })
     });
 

@@ -18,9 +18,9 @@ use crate::workbench::{fmt_duration, fmt_secs, Workbench};
 
 /// All experiment ids in paper order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-    "table3", "table4", "fig10", "fig11", "fig12", "fig13", "table5", "table6", "table7",
-    "table8", "table9", "table10", "table11", "table12", "table13", "table14",
+    "table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table3",
+    "table4", "fig10", "fig11", "fig12", "fig13", "table5", "table6", "table7", "table8", "table9",
+    "table10", "table11", "table12", "table13", "table14",
 ];
 
 /// Run one experiment by id.
@@ -368,10 +368,7 @@ fn fig9(wb: &mut Workbench) -> String {
             let budget = wb.profile.budget();
             let with = wb.run_local(ds, cores, budget, BalanceStrategy::InDegree);
             let without = wb.run_local(ds, cores, budget, BalanceStrategy::EqualEdges);
-            let (tw, to) = (
-                with.modeled_calc(&wb.cost),
-                without.modeled_calc(&wb.cost),
-            );
+            let (tw, to) = (with.modeled_calc(&wb.cost), without.modeled_calc(&wb.cost));
             let _ = writeln!(
                 s,
                 "{:<16} {:>6} {:>14} {:>14} {:>8.2}x",
@@ -524,10 +521,7 @@ fn fig12(wb: &mut Workbench) -> String {
         "Paper shape: PDTL setup (orientation) is far below OPT setup (db \
          creation); calc times comparable, PDTL ahead.",
     );
-    let (input, dir) = (
-        wb.graph(ds).1.clone(),
-        wb.data_dir.join("fig12-optdb"),
-    );
+    let (input, dir) = (wb.graph(ds).1.clone(), wb.data_dir.join("fig12-optdb"));
     std::fs::create_dir_all(&dir).unwrap();
     let stats = IoStats::new();
     let db = optlike::create_database(&input, &dir.join("db"), &stats).expect("opt db");
@@ -622,8 +616,7 @@ fn table5(wb: &mut Workbench) -> String {
         let stats = IoStats::new();
         let db = optlike::create_database(&input, &dir.join("db"), &stats).expect("opt db");
         let ostats = IoStats::new();
-        let opt =
-            optlike::count(&db, cores, MemoryBudget::edges(1 << 22), &ostats).expect("opt");
+        let opt = optlike::count(&db, cores, MemoryBudget::edges(1 << 22), &ostats).expect("opt");
         assert_eq!(opt.triangles, r.triangles);
         let _ = writeln!(
             s,
@@ -677,9 +670,7 @@ fn table6(wb: &mut Workbench) -> String {
                 let (calc, total) = pg_modeled(wb, g.num_edges(), &rep, 4.0);
                 (fmt_secs(calc), fmt_secs(total))
             }
-            Err(pdtl_baselines::BaselineError::OutOfMemory { .. }) => {
-                ("F".into(), "F".into())
-            }
+            Err(pdtl_baselines::BaselineError::OutOfMemory { .. }) => ("F".into(), "F".into()),
             Err(e) => panic!("unexpected powergraph error: {e}"),
         };
         let _ = writeln!(
@@ -707,9 +698,7 @@ fn table7(wb: &mut Workbench) -> String {
         for &c in &wb.profile.core_sweep() {
             let r = wb.run_local(ds, c, wb.profile.budget(), BalanceStrategy::InDegree);
             let cpu = wb.cost.cpu_seconds(r.total_cpu_ops());
-            let io = wb
-                .cost
-                .io_seconds(r.total_worker_io().total_bytes(), 0);
+            let io = wb.cost.io_seconds(r.total_worker_io().total_bytes(), 0);
             let _ = writeln!(
                 s,
                 "  {:>2} cores   CPU {:>12}   I/O {:>12}",
@@ -822,8 +811,7 @@ fn table10(wb: &mut Workbench) -> String {
     for ds in datasets {
         for &cores in &[8usize, 16] {
             let with = wb.run_local(ds, cores, wb.profile.budget(), BalanceStrategy::InDegree);
-            let without =
-                wb.run_local(ds, cores, wb.profile.budget(), BalanceStrategy::EqualEdges);
+            let without = wb.run_local(ds, cores, wb.profile.budget(), BalanceStrategy::EqualEdges);
             let _ = writeln!(
                 s,
                 "{:<16} {:>6} {:>14} {:>14}",
@@ -869,7 +857,10 @@ fn table12_13(wb: &mut Workbench, low_memory: bool) -> String {
             MemoryBudget::edges(wb.profile.budget().edges / 4),
         )
     } else {
-        ("Table XIII — local cluster, 32GB/node analogue (modeled)", wb.profile.budget())
+        (
+            "Table XIII — local cluster, 32GB/node analogue (modeled)",
+            wb.profile.budget(),
+        )
     };
     let mut s = header(
         label,
@@ -928,9 +919,7 @@ fn table14(wb: &mut Workbench) -> String {
                 let (calc, total) = pg_modeled(wb, g.num_edges(), &rep, 7.0);
                 (fmt_secs(calc), fmt_secs(total))
             }
-            Err(pdtl_baselines::BaselineError::OutOfMemory { .. }) => {
-                ("F".into(), "F".into())
-            }
+            Err(pdtl_baselines::BaselineError::OutOfMemory { .. }) => ("F".into(), "F".into()),
             Err(e) => panic!("unexpected powergraph error: {e}"),
         };
         let _ = writeln!(

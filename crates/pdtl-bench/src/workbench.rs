@@ -158,7 +158,10 @@ impl Workbench {
 
     fn scratch(&mut self, tag: &str) -> PathBuf {
         self.run_id += 1;
-        let dir = self.data_dir.join("runs").join(format!("{tag}-{}", self.run_id));
+        let dir = self
+            .data_dir
+            .join("runs")
+            .join(format!("{tag}-{}", self.run_id));
         std::fs::create_dir_all(&dir).expect("scratch dir");
         dir
     }
@@ -273,16 +276,10 @@ mod tests {
     fn local_and_cluster_agree() {
         let mut wb = Workbench::temp(Profile::Quick);
         let budget = wb.profile.budget();
-        let local = wb.run_local(
-            Dataset::Rmat(7),
-            2,
-            budget,
-            BalanceStrategy::InDegree,
-        );
+        let local = wb.run_local(Dataset::Rmat(7), 2, budget, BalanceStrategy::InDegree);
         let cluster = wb.run_cluster(Dataset::Rmat(7), 2, 1, budget);
         assert_eq!(local.triangles, cluster.triangles);
-        let oracle =
-            pdtl_graph::verify::triangle_count(wb.graph(Dataset::Rmat(7)).0);
+        let oracle = pdtl_graph::verify::triangle_count(wb.graph(Dataset::Rmat(7)).0);
         assert_eq!(local.triangles, oracle);
     }
 

@@ -96,9 +96,10 @@ pub fn run_workers(
             }));
         }
         for (i, h) in handles.into_iter().enumerate() {
-            slots[i] = Some(h.join().unwrap_or_else(|_| {
-                Err(pdtl_core::CoreError::WorkerPanic(format!("worker {i}")))
-            }));
+            slots[i] =
+                Some(h.join().unwrap_or_else(|_| {
+                    Err(pdtl_core::CoreError::WorkerPanic(format!("worker {i}")))
+                }));
         }
     });
 

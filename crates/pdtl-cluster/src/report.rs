@@ -160,11 +160,7 @@ impl ClusterReport {
         if remotes == 0 {
             return 0.0;
         }
-        let total: f64 = self
-            .nodes
-            .iter()
-            .map(|n| n.modeled_copy(nm, remotes))
-            .sum();
+        let total: f64 = self.nodes.iter().map(|n| n.modeled_copy(nm, remotes)).sum();
         total / remotes as f64
     }
 

@@ -129,23 +129,21 @@ impl ClusterRunner {
 
         let mut pending: Vec<PendingNode> = Vec::with_capacity(cfg.nodes);
         let mut spawn_node = |id: usize, base: String, copy: Duration, copy_bytes: u64| {
-            let (master_end, handle): (
-                Box<dyn Transport>,
-                std::thread::JoinHandle<Result<()>>,
-            ) = match cfg.transport {
-                TransportKind::InProc => {
-                    let (master_end, node_end) = in_proc_pair(traffic.clone());
-                    let handle = std::thread::spawn(move || serve_node(&node_end));
-                    (Box::new(master_end), handle)
-                }
-                TransportKind::Tcp => {
-                    let node = crate::tcp::TcpNode::spawn(traffic.clone())?;
-                    let addr = node.addr.clone();
-                    let handle = std::thread::spawn(move || node.join());
-                    let master_end = TcpTransport::connect(&addr, traffic.clone())?;
-                    (Box::new(master_end), handle)
-                }
-            };
+            let (master_end, handle): (Box<dyn Transport>, std::thread::JoinHandle<Result<()>>) =
+                match cfg.transport {
+                    TransportKind::InProc => {
+                        let (master_end, node_end) = in_proc_pair(traffic.clone());
+                        let handle = std::thread::spawn(move || serve_node(&node_end));
+                        (Box::new(master_end), handle)
+                    }
+                    TransportKind::Tcp => {
+                        let node = crate::tcp::TcpNode::spawn(traffic.clone())?;
+                        let addr = node.addr.clone();
+                        let handle = std::thread::spawn(move || node.join());
+                        let master_end = TcpTransport::connect(&addr, traffic.clone())?;
+                        (Box::new(master_end), handle)
+                    }
+                };
             let workers: Vec<WorkerConfig> = ranges
                 [id * cfg.cores_per_node..(id + 1) * cfg.cores_per_node]
                 .iter()
@@ -295,10 +293,7 @@ mod tests {
             assert_eq!(report.triangles, expected, "{nodes}x{cores}");
             assert_eq!(report.nodes.len(), nodes);
             assert_eq!(report.node_triangle_sum(), expected);
-            assert!(report
-                .nodes
-                .iter()
-                .all(|n| n.workers.len() == cores));
+            assert!(report.nodes.iter().all(|n| n.workers.len() == cores));
         }
     }
 
@@ -322,8 +317,7 @@ mod tests {
         let (nodes, cores) = (4usize, 2usize);
         let runner = ClusterRunner::new(cfg(nodes, cores)).unwrap();
         let report = runner.run(&input, &tmpdir("bound-run")).unwrap();
-        let bound =
-            theory::pdtl_network_bound_bytes(nodes as u64, cores as u64, m, 0);
+        let bound = theory::pdtl_network_bound_bytes(nodes as u64, cores as u64, m, 0);
         assert!(
             report.network.total() <= 4 * bound,
             "traffic {} exceeds 4x bound {}",

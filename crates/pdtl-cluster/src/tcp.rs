@@ -32,9 +32,7 @@ impl TcpNode {
             .local_addr()
             .map_err(|e| ClusterError::Io(pdtl_io::IoError::os("addr", "tcp", e)))?
             .to_string();
-        let handle = std::thread::spawn(move ||
-
- serve_one(listener, traffic));
+        let handle = std::thread::spawn(move || serve_one(listener, traffic));
         Ok(TcpNode { addr, handle })
     }
 

@@ -98,7 +98,11 @@ pub fn intersect_count(a: &[u32], b: &[u32]) -> u64 {
 mod tests {
     use super::*;
 
-    fn collect(f: impl Fn(&[u32], &[u32], &mut dyn FnMut(u32)) -> u64, a: &[u32], b: &[u32]) -> (u64, Vec<u32>) {
+    fn collect(
+        f: impl Fn(&[u32], &[u32], &mut dyn FnMut(u32)) -> u64,
+        a: &[u32],
+        b: &[u32],
+    ) -> (u64, Vec<u32>) {
         let mut out = Vec::new();
         let n = f(a, b, &mut |x| out.push(x));
         (n, out)
@@ -106,7 +110,11 @@ mod tests {
 
     #[test]
     fn basic_intersection() {
-        let (n, out) = collect(|a, b, v| intersect_visit(a, b, v), &[1, 3, 5, 7], &[2, 3, 4, 7, 9]);
+        let (n, out) = collect(
+            |a, b, v| intersect_visit(a, b, v),
+            &[1, 3, 5, 7],
+            &[2, 3, 4, 7, 9],
+        );
         assert_eq!(n, 2);
         assert_eq!(out, vec![3, 7]);
     }
@@ -150,7 +158,9 @@ mod tests {
         // deterministic pseudo-random sorted sets
         let mut x = 1u64;
         let mut next = move || {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (x >> 33) as u32 % 10_000
         };
         for trial in 0..50 {

@@ -79,8 +79,7 @@ pub fn mgt_count_range<S: TriangleSink>(
             let seg_start = offsets[v as usize].max(pos);
             let seg_end = offsets[v as usize + 1].min(chunk_end);
             if seg_end > seg_start {
-                ind[(v - vlow) as usize] =
-                    ((seg_start - pos) as u32, (seg_end - seg_start) as u32);
+                ind[(v - vlow) as usize] = ((seg_start - pos) as u32, (seg_end - seg_start) as u32);
             }
         }
         cpu_ops += len as u64 + ind.len() as u64;
@@ -169,8 +168,7 @@ pub fn mgt_in_memory<S: TriangleSink>(
             let seg_start = o.offsets[v as usize].max(pos);
             let seg_end = o.offsets[v as usize + 1].min(chunk_end);
             if seg_end > seg_start {
-                ind[(v - vlow) as usize] =
-                    ((seg_start - pos) as u32, (seg_end - seg_start) as u32);
+                ind[(v - vlow) as usize] = ((seg_start - pos) as u32, (seg_end - seg_start) as u32);
             }
         }
         let edg = &o.adj[pos as usize..chunk_end as usize];

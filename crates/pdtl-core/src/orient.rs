@@ -81,7 +81,12 @@ pub fn orient_csr(g: &Graph) -> OrientedCsr {
     let mut d_star_max = 0u32;
     for u in 0..n {
         let before = adj.len();
-        adj.extend(g.neighbors(u).iter().copied().filter(|&v| ord.precedes(u, v)));
+        adj.extend(
+            g.neighbors(u)
+                .iter()
+                .copied()
+                .filter(|&v| ord.precedes(u, v)),
+        );
         let d = (adj.len() - before) as u32;
         d_star_max = d_star_max.max(d);
         offsets.push(adj.len() as u64);
@@ -257,8 +262,7 @@ pub fn orient_to_disk(
             adjw.write_all(&buf)?;
             remaining -= got;
         }
-        std::fs::remove_file(&s.path)
-            .map_err(|e| pdtl_io::IoError::os("remove", &s.path, e))?;
+        std::fs::remove_file(&s.path).map_err(|e| pdtl_io::IoError::os("remove", &s.path, e))?;
     }
     adjw.finish()?;
 
@@ -395,8 +399,7 @@ mod tests {
         let dg = DiskGraph::write(&g, tmpbase("dm-in"), &stats).unwrap();
         for threads in [1usize, 3, 8] {
             let (og, report) =
-                orient_to_disk(&dg, tmpbase(&format!("dm-out{threads}")), threads, &stats)
-                    .unwrap();
+                orient_to_disk(&dg, tmpbase(&format!("dm-out{threads}")), threads, &stats).unwrap();
             let expect = orient_csr(&g);
             assert_eq!(og.offsets, expect.offsets, "threads={threads}");
             assert_eq!(og.d_star_max, expect.d_star_max);

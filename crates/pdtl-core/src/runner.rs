@@ -128,17 +128,17 @@ impl LocalRunner {
                 let mut sink = make_sink();
                 handles.push(scope.spawn(move || {
                     let stats = IoStats::new();
-                    mgt_count_range(og_ref, range, budget, &mut sink, stats)
-                        .map(|mut r| {
-                            r.worker = i;
-                            (r, sink)
-                        })
+                    mgt_count_range(og_ref, range, budget, &mut sink, stats).map(|mut r| {
+                        r.worker = i;
+                        (r, sink)
+                    })
                 }));
             }
             for (i, h) in handles.into_iter().enumerate() {
-                results[i] = Some(h.join().unwrap_or_else(|_| {
-                    Err(CoreError::WorkerPanic(format!("worker {i}")))
-                }));
+                results[i] = Some(
+                    h.join()
+                        .unwrap_or_else(|_| Err(CoreError::WorkerPanic(format!("worker {i}")))),
+                );
             }
         });
 
@@ -175,10 +175,7 @@ pub fn count_triangles(g: &Graph) -> Result<RunReport> {
 pub fn count_triangles_with(g: &Graph, config: LocalConfig) -> Result<RunReport> {
     static UNIQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
     let id = UNIQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-    let dir: PathBuf = std::env::temp_dir().join(format!(
-        "pdtl-count-{}-{id}",
-        std::process::id()
-    ));
+    let dir: PathBuf = std::env::temp_dir().join(format!("pdtl-count-{}-{id}", std::process::id()));
     std::fs::create_dir_all(&dir).map_err(|e| pdtl_io::IoError::os("mkdir", &dir, e))?;
     let stats = IoStats::new();
     let input = DiskGraph::write(g, dir.join("input"), &stats)?;
@@ -215,7 +212,9 @@ mod tests {
                 balance: BalanceStrategy::InDegree,
             })
             .unwrap();
-            let report = runner.run(&input, &tmpdir(&format!("cores-{cores}"))).unwrap();
+            let report = runner
+                .run(&input, &tmpdir(&format!("cores-{cores}")))
+                .unwrap();
             assert_eq!(report.triangles, expected, "cores {cores}");
             assert_eq!(report.workers.len(), cores);
         }

@@ -93,13 +93,13 @@ impl TriangleSink for FileSink {
 }
 
 /// Read a [`FileSink`] file back as triples (verification helper).
-pub fn read_triangle_file(path: impl AsRef<Path>, stats: Arc<IoStats>) -> Result<Vec<(u32, u32, u32)>> {
+pub fn read_triangle_file(
+    path: impl AsRef<Path>,
+    stats: Arc<IoStats>,
+) -> Result<Vec<(u32, u32, u32)>> {
     let mut r = pdtl_io::U32Reader::open(path, stats)?;
     let vals = r.read_all()?;
-    Ok(vals
-        .chunks_exact(3)
-        .map(|c| (c[0], c[1], c[2]))
-        .collect())
+    Ok(vals.chunks_exact(3).map(|c| (c[0], c[1], c[2])).collect())
 }
 
 #[cfg(test)]

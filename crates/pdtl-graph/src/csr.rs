@@ -76,7 +76,9 @@ impl Graph {
     /// `Graph` invariants; use [`validate`](Graph::validate) if unsure.
     pub fn from_parts(offsets: Vec<u64>, adj: Vec<u32>) -> Result<Self> {
         if offsets.is_empty() {
-            return Err(GraphError::Invalid("offsets must have length n+1 >= 1".into()));
+            return Err(GraphError::Invalid(
+                "offsets must have length n+1 >= 1".into(),
+            ));
         }
         if *offsets.last().unwrap() != adj.len() as u64 {
             return Err(GraphError::Invalid(format!(
@@ -190,9 +192,7 @@ impl Graph {
                     return Err(GraphError::Invalid(format!("self-loop at {u}")));
                 }
                 if self.neighbors(v).binary_search(&u).is_err() {
-                    return Err(GraphError::Invalid(format!(
-                        "asymmetric edge ({u}, {v})"
-                    )));
+                    return Err(GraphError::Invalid(format!("asymmetric edge ({u}, {v})")));
                 }
             }
         }

@@ -185,7 +185,11 @@ mod tests {
     fn yahoo_is_sparse_with_huge_hubs() {
         let y = Dataset::Yahoo.build_scaled(0.1).unwrap();
         let s = GraphStats::compute("yahoo", &y);
-        assert!(s.avg_degree < 30.0, "yahoo must stay sparse: {}", s.avg_degree);
+        assert!(
+            s.avg_degree < 30.0,
+            "yahoo must stay sparse: {}",
+            s.avg_degree
+        );
         assert!(
             s.max_degree as f64 > 40.0 * s.avg_degree,
             "yahoo hubs: max {} avg {}",

@@ -38,8 +38,7 @@ impl DiskGraph {
         let base = base.as_ref().to_path_buf();
         if let Some(parent) = base.parent() {
             if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)
-                    .map_err(|e| IoError::os("mkdir", parent, e))?;
+                std::fs::create_dir_all(parent).map_err(|e| IoError::os("mkdir", parent, e))?;
             }
         }
         let mut degw = U32Writer::create(deg_path(&base), stats.clone())?;
@@ -156,8 +155,7 @@ impl DiskGraph {
         let new_base = new_base.as_ref().to_path_buf();
         if let Some(parent) = new_base.parent() {
             if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)
-                    .map_err(|e| IoError::os("mkdir", parent, e))?;
+                std::fs::create_dir_all(parent).map_err(|e| IoError::os("mkdir", parent, e))?;
             }
         }
         let mut total = 0u64;
@@ -246,11 +244,7 @@ pub fn from_sorted_packed_edges(
     }
     degw.finish()?;
     adjw.finish()?;
-    Ok(DiskGraph {
-        base,
-        n,
-        adj_len,
-    })
+    Ok(DiskGraph { base, n, adj_len })
 }
 
 /// Prefix-sum degrees into CSR offsets (`n + 1` entries).

@@ -14,13 +14,13 @@
 //! platforms).
 
 pub mod chunglu;
-pub mod models;
 pub mod classic;
+pub mod models;
 pub mod rmat;
 pub mod rng;
 
 pub use chunglu::{chung_lu, power_law_weights};
-pub use models::{barabasi_albert, watts_strogatz};
 pub use classic::{complete, cycle, erdos_renyi, grid, path, star, wheel};
+pub use models::{barabasi_albert, watts_strogatz};
 pub use rmat::{rmat, RmatParams};
 pub use rng::SplitMix64;

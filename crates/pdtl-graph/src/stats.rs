@@ -33,7 +33,11 @@ impl GraphStats {
     pub fn compute(name: impl Into<String>, g: &Graph) -> Self {
         let n = g.num_vertices() as u64;
         let m = g.num_edges();
-        let avg = if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 };
+        let avg = if n == 0 {
+            0.0
+        } else {
+            2.0 * m as f64 / n as f64
+        };
         let mut var_acc = 0.0f64;
         let mut max_deg = 0u32;
         for u in 0..g.num_vertices() {
@@ -42,7 +46,11 @@ impl GraphStats {
             let diff = d as f64 - avg;
             var_acc += diff * diff;
         }
-        let std = if n == 0 { 0.0 } else { (var_acc / n as f64).sqrt() };
+        let std = if n == 0 {
+            0.0
+        } else {
+            (var_acc / n as f64).sqrt()
+        };
         Self {
             name: name.into(),
             nodes: n,

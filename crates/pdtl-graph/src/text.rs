@@ -26,12 +26,13 @@ pub fn read_edge_list(path: impl AsRef<Path>) -> Result<(Graph, Vec<u64>)> {
     let mut ids: std::collections::HashMap<u64, u32> = Default::default();
     let mut original: Vec<u64> = Vec::new();
     let mut edges: Vec<(u32, u32)> = Vec::new();
-    let intern = |raw: u64, original: &mut Vec<u64>, ids: &mut std::collections::HashMap<u64, u32>| {
-        *ids.entry(raw).or_insert_with(|| {
-            original.push(raw);
-            (original.len() - 1) as u32
-        })
-    };
+    let intern =
+        |raw: u64, original: &mut Vec<u64>, ids: &mut std::collections::HashMap<u64, u32>| {
+            *ids.entry(raw).or_insert_with(|| {
+                original.push(raw);
+                (original.len() - 1) as u32
+            })
+        };
     for (lineno, line) in reader.lines().enumerate() {
         let line = line.map_err(|e| IoError::os("read", path, e))?;
         let trimmed = line.trim();

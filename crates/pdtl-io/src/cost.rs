@@ -182,7 +182,11 @@ mod tests {
         let s = a.merged(&b);
         assert!((s.cpu - 3.0).abs() < 1e-12 && (s.io - 5.0).abs() < 1e-12);
         let m = a.max(&b);
-        assert!((m.cpu - 2.0).abs() < 1e-12 && (m.io - 4.0).abs() < 1e-12 && (m.net - 3.0).abs() < 1e-12);
+        assert!(
+            (m.cpu - 2.0).abs() < 1e-12
+                && (m.io - 4.0).abs() < 1e-12
+                && (m.net - 3.0).abs() < 1e-12
+        );
     }
 
     #[test]

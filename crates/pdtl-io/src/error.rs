@@ -120,11 +120,7 @@ mod tests {
     #[test]
     fn source_is_preserved() {
         use std::error::Error;
-        let e = IoError::os(
-            "open",
-            "/f",
-            std::io::Error::new(std::io::ErrorKind::Other, "x"),
-        );
+        let e = IoError::os("open", "/f", std::io::Error::other("x"));
         assert!(e.source().is_some());
         let e2 = IoError::malformed("/f", "bad");
         assert!(e2.source().is_none());

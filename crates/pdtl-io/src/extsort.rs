@@ -79,9 +79,11 @@ fn form_runs(
                     format!("trailing {} bytes (not a multiple of 8)", n % RECORD_BYTES),
                 ));
             }
-            buf.extend(chunk[..n].chunks_exact(RECORD_BYTES).map(|c| {
-                u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]])
-            }));
+            buf.extend(
+                chunk[..n]
+                    .chunks_exact(RECORD_BYTES)
+                    .map(|c| u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]])),
+            );
             if n < want {
                 eof = true;
                 break;
@@ -164,8 +166,8 @@ impl RunReader {
     fn advance(&mut self, stats: &Arc<IoStats>) -> Result<()> {
         let mut b = [0u8; RECORD_BYTES];
         let start = Instant::now();
-        let n = read_full(&mut self.reader, &mut b)
-            .map_err(|e| IoError::os("read", &self.path, e))?;
+        let n =
+            read_full(&mut self.reader, &mut b).map_err(|e| IoError::os("read", &self.path, e))?;
         stats.record_read(n as u64, start.elapsed());
         self.head = match n {
             0 => None,
@@ -368,7 +370,10 @@ mod tests {
         write_u64_records(&b, &[2, 3, 9], &stats).unwrap();
         let n = merge_sorted_files(&[a, b], &out, &stats).unwrap();
         assert_eq!(n, 6);
-        assert_eq!(read_u64_records(&out, &stats).unwrap(), vec![1, 2, 3, 4, 7, 9]);
+        assert_eq!(
+            read_u64_records(&out, &stats).unwrap(),
+            vec![1, 2, 3, 4, 7, 9]
+        );
     }
 
     #[test]

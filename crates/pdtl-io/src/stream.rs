@@ -132,10 +132,9 @@ impl U32Reader {
     pub fn read_into(&mut self, out: &mut Vec<u32>, n: usize) -> Result<usize> {
         let mut got = 0usize;
         while got < n {
-            if self.pos + 4 > self.filled
-                && self.refill()? == 0 {
-                    break;
-                }
+            if self.pos + 4 > self.filled && self.refill()? == 0 {
+                break;
+            }
             let avail = (self.filled - self.pos) / 4;
             let take = avail.min(n - got);
             let bytes = &self.buf[self.pos..self.pos + take * 4];
@@ -237,7 +236,8 @@ impl U32Writer {
         self.file
             .write_all(&self.buf)
             .map_err(|e| IoError::os("write", &self.path, e))?;
-        self.stats.record_write(self.buf.len() as u64, start.elapsed());
+        self.stats
+            .record_write(self.buf.len() as u64, start.elapsed());
         self.buf.clear();
         Ok(())
     }

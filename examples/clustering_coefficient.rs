@@ -32,15 +32,14 @@ fn main() {
     })
     .expect("config");
     let (report, triangles) = runner.run_listing(&input, &dir).expect("run");
-    println!(
-        "listed {} triangles in {:?}",
-        triangles.len(),
-        report.wall
-    );
+    println!("listed {} triangles in {:?}", triangles.len(), report.wall);
 
     let analysis = clustering::analyze(&graph, &triangles);
     println!("global clustering coefficient : {:.4}", analysis.global);
-    println!("transitivity ratio            : {:.4}", analysis.transitivity);
+    println!(
+        "transitivity ratio            : {:.4}",
+        analysis.transitivity
+    );
 
     // The most and least clustered well-connected vertices.
     let mut ranked: Vec<(u32, f64)> = (0..graph.num_vertices())

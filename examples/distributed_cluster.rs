@@ -37,7 +37,11 @@ fn main() {
         graph.num_edges()
     );
     println!("triangles : {}", report.triangles);
-    println!("wall      : {:?}  (calc: {:?})", report.wall, report.calc_wall());
+    println!(
+        "wall      : {:?}  (calc: {:?})",
+        report.wall,
+        report.calc_wall()
+    );
     println!("avg copy  : {:?}\n", report.avg_copy());
 
     let cost = CostModel::default();
@@ -54,20 +58,17 @@ fn main() {
     }
 
     println!("\nnetwork traffic (Theorem IV.3: Θ(NP + N|E| + T)):");
-    println!("  config    : {:>12} bytes  (Θ(NP) term)", report.network.config);
-    println!("  graph     : {:>12} bytes  (Θ(N|E|) term)", report.network.graph);
-    println!("  results   : {:>12} bytes", report.network.result);
-    let bound = theory::pdtl_network_bound_bytes(
-        nodes as u64,
-        cores as u64,
-        graph.num_edges(),
-        0,
+    println!(
+        "  config    : {:>12} bytes  (Θ(NP) term)",
+        report.network.config
     );
     println!(
-        "  total {} <= 4x bound {} ✓",
-        report.network.total(),
-        bound
+        "  graph     : {:>12} bytes  (Θ(N|E|) term)",
+        report.network.graph
     );
+    println!("  results   : {:>12} bytes", report.network.result);
+    let bound = theory::pdtl_network_bound_bytes(nodes as u64, cores as u64, graph.num_edges(), 0);
+    println!("  total {} <= 4x bound {} ✓", report.network.total(), bound);
     assert!(report.network.total() <= 4 * bound);
 
     let _ = std::fs::remove_dir_all(&dir);

@@ -41,7 +41,10 @@ fn main() {
     let report = runner.run(&input, &dir).expect("run");
 
     println!("\ntriangles           : {}", report.triangles);
-    println!("orientation wall    : {:?}", report.orientation.breakdown.wall);
+    println!(
+        "orientation wall    : {:?}",
+        report.orientation.breakdown.wall
+    );
     println!("calculation wall    : {:?}", report.calc_wall());
     println!("chunk iterations    : {}", report.total_iterations());
     let io = report.total_worker_io();
@@ -52,13 +55,16 @@ fn main() {
 
     // 4. Verify measured work sits inside Theorem IV.2's bound.
     let m = graph.num_edges();
-    let bound = theory::mgt_io_bound_bytes(m, (8 << 10) / 2, 0)
-        + 4 * m * report.workers.len() as u64;
+    let bound =
+        theory::mgt_io_bound_bytes(m, (8 << 10) / 2, 0) + 4 * m * report.workers.len() as u64;
     println!(
         "I/O bound check     : measured {} <= O-bound {} ✓",
         io.bytes_read, bound
     );
-    assert!(io.bytes_read <= 4 * bound, "I/O must stay within the theorem");
+    assert!(
+        io.bytes_read <= 4 * bound,
+        "I/O must stay within the theorem"
+    );
 
     // 5. Modeled time under the paper's hardware model (500 MB/s SSD).
     let cost = CostModel::default();

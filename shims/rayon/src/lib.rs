@@ -1,0 +1,423 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment cannot reach crates.io, so this shim provides
+//! the subset of rayon's API the workspace uses — `par_iter()` /
+//! `into_par_iter()` with `map` / `enumerate` / `sum` / `collect` /
+//! `for_each`, plus `ThreadPoolBuilder` — with *real* data parallelism
+//! implemented over `std::thread::scope`. Work is split into one
+//! contiguous chunk per thread; results are reassembled in order, so
+//! every operation is deterministic exactly like rayon's indexed
+//! parallel iterators.
+//!
+//! Swap this for the real crate by editing `[workspace.dependencies]`
+//! at the workspace root once a registry is available.
+
+use std::cell::Cell;
+use std::ops::Range;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of threads terminal operations will use.
+pub fn current_num_threads() -> usize {
+    POOL_THREADS.with(|t| t.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// An indexed parallel iterator: a random-access source plus a stack of
+/// per-item adapters. `eval(i)` computes the i-th item; terminal
+/// operations shard `0..len` across threads.
+pub trait ParallelIterator: Sized + Sync {
+    /// Item type produced by this iterator.
+    type Item: Send;
+
+    /// Number of items.
+    fn len(&self) -> usize;
+    /// Whether the iterator is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Compute the i-th item (pure; called from worker threads).
+    fn eval(&self, i: usize) -> Self::Item;
+
+    /// Map each item through `f` in parallel.
+    fn map<R: Send, F: Fn(Self::Item) -> R + Sync>(self, f: F) -> Map<Self, F> {
+        Map { base: self, f }
+    }
+
+    /// Pair each item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Execute and collect all items in index order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        run_chunks(&self).into_iter().collect()
+    }
+
+    /// Execute and sum all items.
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        let n = self.len();
+        let pieces = execute_mapped(&self, |it, range| range.map(|i| it.eval(i)).sum::<S>(), n);
+        pieces.into_iter().sum()
+    }
+
+    /// Execute `f` on every item.
+    fn for_each<F: Fn(Self::Item) + Sync>(self, f: F) {
+        let n = self.len();
+        execute_mapped(
+            &self,
+            |it, range| {
+                for i in range {
+                    f(it.eval(i));
+                }
+            },
+            n,
+        );
+    }
+
+    /// Execute and reduce with `op`, starting each chunk from `identity()`.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+    {
+        let n = self.len();
+        let pieces = execute_mapped(
+            &self,
+            |it, range| range.map(|i| it.eval(i)).fold(identity(), &op),
+            n,
+        );
+        pieces.into_iter().fold(identity(), &op)
+    }
+}
+
+/// Run `shard` over one contiguous index chunk per worker thread and
+/// return the per-chunk results in chunk order.
+fn execute_mapped<I, R, F>(it: &I, shard: F, n: usize) -> Vec<R>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(&I, Range<usize>) -> R + Sync,
+{
+    let threads = current_num_threads().clamp(1, n.max(1));
+    if threads <= 1 || n <= 1 {
+        return vec![shard(it, 0..n)];
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                let shard = &shard;
+                s.spawn(move || shard(it, lo..hi))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+/// Evaluate every item in parallel, returning them in index order.
+fn run_chunks<I: ParallelIterator>(it: &I) -> Vec<I::Item> {
+    let n = it.len();
+    let pieces = execute_mapped(
+        it,
+        |it, range| range.map(|i| it.eval(i)).collect::<Vec<_>>(),
+        n,
+    );
+    let mut out = Vec::with_capacity(n);
+    for p in pieces {
+        out.extend(p);
+    }
+    out
+}
+
+/// `map` adapter.
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync,
+{
+    type Item = R;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn eval(&self, i: usize) -> R {
+        (self.f)(self.base.eval(i))
+    }
+}
+
+/// `enumerate` adapter.
+pub struct Enumerate<I> {
+    base: I,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn eval(&self, i: usize) -> (usize, I::Item) {
+        (i, self.base.eval(i))
+    }
+}
+
+/// Parallel iterator over a slice (`par_iter`).
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn eval(&self, i: usize) -> &'a T {
+        &self.slice[i]
+    }
+}
+
+/// Parallel iterator over an integer range (`into_par_iter`).
+pub struct RangeIter<T> {
+    range: Range<T>,
+}
+
+macro_rules! impl_range_iter {
+    ($($ty:ty),*) => {$(
+        impl ParallelIterator for RangeIter<$ty> {
+            type Item = $ty;
+            fn len(&self) -> usize {
+                if self.range.end > self.range.start {
+                    (self.range.end - self.range.start) as usize
+                } else {
+                    0
+                }
+            }
+            fn eval(&self, i: usize) -> $ty {
+                self.range.start + i as $ty
+            }
+        }
+
+        impl IntoParallelIterator for Range<$ty> {
+            type Item = $ty;
+            type Iter = RangeIter<$ty>;
+            fn into_par_iter(self) -> RangeIter<$ty> {
+                RangeIter { range: self }
+            }
+        }
+    )*};
+}
+
+impl_range_iter!(u32, u64, usize, i32, i64);
+
+/// Parallel iterator that owns a `Vec` (`Vec::into_par_iter`).
+pub struct VecIter<T> {
+    items: Vec<std::sync::Mutex<Option<T>>>,
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+    fn eval(&self, i: usize) -> T {
+        self.items[i]
+            .lock()
+            .unwrap()
+            .take()
+            .expect("item consumed twice")
+    }
+}
+
+/// Conversion into a parallel iterator (by value).
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Concrete iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecIter<T>;
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter {
+            items: self
+                .into_iter()
+                .map(|t| std::sync::Mutex::new(Some(t)))
+                .collect(),
+        }
+    }
+}
+
+/// Conversion into a borrowing parallel iterator (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a reference).
+    type Item: Send;
+    /// Concrete iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Borrowing conversion.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`]; never actually
+/// produced by the shim.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with default (host) parallelism.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cap the pool at `n` threads (0 = host default, like rayon).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Build the pool. Infallible in the shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A scoped thread-count override; the shim spawns threads per terminal
+/// operation rather than keeping a persistent pool.
+pub struct ThreadPool {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's thread count governing parallel
+    /// operations invoked inside it.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|t| t.replace(self.num_threads));
+        let out = f();
+        POOL_THREADS.with(|t| t.set(prev));
+        out
+    }
+
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+    }
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().unwrap())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn range_map_sum() {
+        let s: u64 = (0u64..1000).into_par_iter().map(|x| x * 2).sum();
+        assert_eq!(s, 999 * 1000);
+    }
+
+    #[test]
+    fn slice_enumerate_collect_is_ordered() {
+        let v: Vec<u32> = (0..257).collect();
+        let out: Vec<(usize, u32)> = v.par_iter().enumerate().map(|(i, &x)| (i, x)).collect();
+        assert_eq!(out.len(), 257);
+        for (i, (j, x)) in out.into_iter().enumerate() {
+            assert_eq!(i, j);
+            assert_eq!(x, i as u32);
+        }
+    }
+
+    #[test]
+    fn vec_into_par_iter_moves_items() {
+        let v = vec![String::from("a"), String::from("b"), String::from("c")];
+        let out: Vec<String> = v.into_par_iter().map(|s| s + "!").collect();
+        assert_eq!(out, ["a!", "b!", "c!"]);
+    }
+
+    #[test]
+    fn pool_install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| assert_eq!(current_num_threads(), 2));
+    }
+
+    #[test]
+    fn empty_range_sums_to_zero() {
+        let s: u64 = (5u64..5).into_par_iter().sum();
+        assert_eq!(s, 0);
+    }
+}

@@ -243,8 +243,13 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String> {
             let dg = DiskGraph::open(&base, &stats).map_err(|e| fail(&e))?;
             let g = dg.load_csr(&stats).map_err(|e| fail(&e))?;
             pdtl_graph::text::write_edge_list(&g, &path).map_err(|e| fail(&e))?;
-            writeln!(out, "exported {} edges to {}", g.num_edges(), path.display())
-                .map_err(|e| fail(&e))
+            writeln!(
+                out,
+                "exported {} edges to {}",
+                g.num_edges(),
+                path.display()
+            )
+            .map_err(|e| fail(&e))
         }
         Command::Stats { base } => {
             let dg = DiskGraph::open(&base, &stats).map_err(|e| fail(&e))?;

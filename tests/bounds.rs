@@ -100,12 +100,8 @@ fn cluster_network_within_theorem_iv3() {
         .run(&input, &tmpdir(&format!("net-{nodes}-{cores}-{listing}")))
         .unwrap();
         let t_term = if listing { report.triangles } else { 0 };
-        let bound = theory::pdtl_network_bound_bytes(
-            nodes as u64,
-            cores as u64,
-            g.num_edges(),
-            t_term,
-        );
+        let bound =
+            theory::pdtl_network_bound_bytes(nodes as u64, cores as u64, g.num_edges(), t_term);
         assert!(
             report.network.total() <= 4 * bound,
             "{nodes}x{cores} listing={listing}: {} > 4x {bound}",

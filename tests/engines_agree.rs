@@ -88,7 +88,14 @@ fn every_engine_count(g: &Graph, tag: &str) -> Vec<(&'static str, u64)> {
     results.push(("powergraph-like", pg.triangles));
 
     // CTTP-like
-    let ct = cttp::run(g, cttp::CttpConfig { rho: 3, reducers: 2 }).unwrap();
+    let ct = cttp::run(
+        g,
+        cttp::CttpConfig {
+            rho: 3,
+            reducers: 2,
+        },
+    )
+    .unwrap();
     results.push(("cttp-like", ct.triangles));
 
     results

@@ -34,7 +34,7 @@ fn raw_edge_list_to_triangle_count() {
     }
     packed.push((3u64 << 32) | 3); // self loop
     packed.push(packed[0]); // duplicate
-    // deterministic shuffle
+                            // deterministic shuffle
     let mut state = 0x9E37u64;
     for i in (1..packed.len()).rev() {
         state = state

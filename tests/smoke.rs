@@ -1,0 +1,33 @@
+//! Umbrella-crate smoke tests: the README/lib.rs quickstart must keep
+//! working, and the re-export layout must stay reachable under the
+//! documented paths.
+
+use pdtl::core::count_triangles;
+use pdtl::graph::gen::classic::complete;
+
+#[test]
+fn quickstart_complete_100_lists_161700_triangles() {
+    let g = complete(100).unwrap();
+    let report = count_triangles(&g).unwrap();
+    assert_eq!(report.triangles, 161_700); // C(100, 3)
+}
+
+#[test]
+fn umbrella_reexports_are_reachable() {
+    // One symbol per re-exported crate, through the umbrella paths the
+    // docs advertise.
+    let _ = pdtl::io::BYTES_PER_U32;
+    let g = pdtl::graph::gen::classic::complete(5).unwrap();
+    assert_eq!(pdtl::graph::verify::triangle_count(&g), 10);
+    let o = pdtl::core::orient_csr(&g);
+    assert_eq!(o.m_star(), g.num_edges());
+    assert_eq!(pdtl::baselines::inmem::forward(&g), 10);
+    let traffic = pdtl::cluster::NetTraffic::new();
+    assert_eq!(traffic.total_bytes(), 0);
+    let list = pdtl::graph::verify::triangle_list(&g);
+    let t = pdtl::analytics::transitivity(&g, list.len() as u64);
+    assert!(
+        (t - 1.0).abs() < 1e-9,
+        "K5 transitivity should be 1, got {t}"
+    );
+}
