@@ -6,16 +6,22 @@
 //! * **balanced vs naive ranges** — the struggler's work under each
 //!   strategy (Figure 9's mechanism);
 //! * **galloping crossover** — where the adaptive intersection should
-//!   switch strategies.
+//!   switch strategies;
+//! * **scan pruning** — the rank-space `(min, max)` bounds skip plus the
+//!   `vhigh` scan cap, against the PR 1 full-scan behaviour, on both the
+//!   disk and in-memory engines.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::collections::HashSet;
 use std::hint::black_box;
 
 use pdtl_core::intersect::{intersect_count, intersect_gallop_visit, intersect_visit};
-use pdtl_core::orient::orient_csr;
-use pdtl_core::BalanceStrategy;
+use pdtl_core::orient::{orient_csr, orient_to_disk};
+use pdtl_core::sink::CountSink;
+use pdtl_core::{mgt_count_range_opt, mgt_in_memory_opt, BalanceStrategy, EdgeRange, MgtOptions};
 use pdtl_graph::gen::rmat::rmat;
+use pdtl_graph::DiskGraph;
+use pdtl_io::{IoStats, MemoryBudget};
 
 /// Hash-set inner loop: what the paper measured and rejected.
 fn forward_with_hashsets(o: &pdtl_core::orient::OrientedCsr) -> u64 {
@@ -122,10 +128,57 @@ fn bench_gallop_crossover(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_scan_pruning(c: &mut Criterion) {
+    // Multi-pass regime (budget far below |E*|): pruning caps each
+    // chunk's scan at vhigh and seeks past non-overlapping out-lists.
+    let g = rmat(10, 13).unwrap();
+    let dir = std::env::temp_dir().join(format!("pdtl-ablate-prune-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let stats = IoStats::new();
+    let input = DiskGraph::write(&g, dir.join("g"), &stats).unwrap();
+    let (og, _) = orient_to_disk(&input, dir.join("oriented"), 2, &stats).unwrap();
+    let o = orient_csr(&g);
+    let budget = MemoryBudget::edges(512);
+    let full = EdgeRange {
+        start: 0,
+        end: og.m_star(),
+    };
+
+    let mut group = c.benchmark_group("scan_pruning");
+    for (name, prune) in [("pruned", true), ("full_scan", false)] {
+        let opts = MgtOptions {
+            scan_pruning: prune,
+        };
+        group.bench_function(format!("disk/{name}"), |b| {
+            b.iter(|| {
+                mgt_count_range_opt(
+                    black_box(&og),
+                    full,
+                    budget,
+                    &mut CountSink,
+                    IoStats::new(),
+                    opts,
+                )
+                .unwrap()
+                .triangles
+            })
+        });
+        group.bench_function(format!("in_memory/{name}"), |b| {
+            b.iter(|| {
+                let (t, _) = mgt_in_memory_opt(black_box(&o), budget, &mut CountSink, opts);
+                t
+            })
+        });
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 criterion_group!(
     benches,
     bench_arrays_vs_sets,
     bench_balance_struggler,
-    bench_gallop_crossover
+    bench_gallop_crossover,
+    bench_scan_pruning
 );
 criterion_main!(benches);

@@ -1,10 +1,16 @@
 //! Micro-benchmarks of PDTL's hot kernels: sorted-array intersection,
 //! the in-memory MGT chunk loop, orientation, and load-balance
 //! computation.
+//!
+//! The workload (sizes, seeds, budgets, names) is defined once in
+//! [`pdtl_bench::kernelbench::workload`] and shared with the `exp
+//! kernels --json` snapshot runner, so the criterion numbers and
+//! `BENCH_kernels.json` always measure the same thing.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use pdtl_bench::kernelbench::workload;
 use pdtl_core::intersect::{intersect_gallop_visit, intersect_visit};
 use pdtl_core::mgt::mgt_in_memory;
 use pdtl_core::orient::orient_csr;
@@ -13,17 +19,10 @@ use pdtl_core::{split_ranges, BalanceStrategy};
 use pdtl_graph::gen::rmat::rmat;
 use pdtl_io::MemoryBudget;
 
-fn sorted_set(n: usize, stride: u32, offset: u32) -> Vec<u32> {
-    (0..n as u32).map(|i| i * stride + offset).collect()
-}
-
 fn bench_intersection(c: &mut Criterion) {
     let mut group = c.benchmark_group("intersect");
-    for &(a_len, b_len) in &[(1000usize, 1000usize), (100, 10_000), (10, 100_000)] {
-        // both sets span the same id range so neither side can early-exit
-        let span = (a_len.max(b_len) * 5) as u32;
-        let a = sorted_set(a_len, span / a_len as u32, 3);
-        let b = sorted_set(b_len, span / b_len as u32, 0);
+    for &(a_len, b_len) in &workload::INTERSECT_PAIRS {
+        let (a, b) = workload::intersect_inputs(a_len, b_len);
         group.bench_with_input(
             BenchmarkId::new("linear", format!("{a_len}x{b_len}")),
             &(&a, &b),
@@ -41,10 +40,10 @@ fn bench_intersection(c: &mut Criterion) {
 }
 
 fn bench_mgt_chunks(c: &mut Criterion) {
-    let g = rmat(10, 1).unwrap();
+    let g = rmat(workload::MGT_RMAT.0, workload::MGT_RMAT.1).unwrap();
     let o = orient_csr(&g);
     let mut group = c.benchmark_group("mgt_in_memory");
-    for &budget in &[1usize << 20, 1 << 14, 1 << 11] {
+    for &budget in &workload::MGT_BUDGETS {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("budget_{budget}")),
             &budget,
@@ -61,14 +60,14 @@ fn bench_mgt_chunks(c: &mut Criterion) {
 }
 
 fn bench_orientation(c: &mut Criterion) {
-    let g = rmat(10, 2).unwrap();
+    let g = rmat(workload::ORIENT_RMAT.0, workload::ORIENT_RMAT.1).unwrap();
     c.bench_function("orient_csr_rmat10", |b| {
         b.iter(|| orient_csr(black_box(&g)))
     });
 }
 
 fn bench_balance(c: &mut Criterion) {
-    let g = rmat(12, 3).unwrap();
+    let g = rmat(workload::BALANCE_RMAT.0, workload::BALANCE_RMAT.1).unwrap();
     let o = orient_csr(&g);
     let ins = o.in_degrees();
     let mut group = c.benchmark_group("split_ranges");
@@ -81,7 +80,9 @@ fn bench_balance(c: &mut Criterion) {
 }
 
 fn bench_generators(c: &mut Criterion) {
-    c.bench_function("rmat_k8", |b| b.iter(|| rmat(8, black_box(4)).unwrap()));
+    c.bench_function("rmat_k8", |b| {
+        b.iter(|| rmat(workload::GEN_RMAT.0, black_box(workload::GEN_RMAT.1)).unwrap())
+    });
 }
 
 criterion_group!(

@@ -4,23 +4,44 @@
 //! exp all            # every experiment, Full profile
 //! exp table6 fig9    # selected experiments
 //! exp all --quick    # tiny graphs (CI / smoke test)
+//! exp kernels --json # kernel micro-benches -> BENCH_kernels.json
 //! ```
 
 use pdtl_bench::experiments::{run_experiment, ALL_EXPERIMENTS};
+use pdtl_bench::kernelbench;
 use pdtl_bench::workbench::{Profile, Workbench};
+
+/// Where `exp kernels --json` writes its snapshot (the repo root when
+/// run via `cargo run`).
+const BENCH_JSON: &str = "BENCH_kernels.json";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let json = args.iter().any(|a| a == "--json");
     let ids: Vec<String> = args
         .iter()
         .filter(|a| !a.starts_with('-'))
         .cloned()
         .collect();
     if ids.is_empty() {
-        eprintln!("usage: exp <all | id...> [--quick]");
+        eprintln!("usage: exp <all | kernels | id...> [--quick] [--json]");
         eprintln!("experiment ids: {}", ALL_EXPERIMENTS.join(" "));
         std::process::exit(2);
+    }
+
+    if ids.iter().any(|i| i == "kernels") {
+        let start = std::time::Instant::now();
+        let results = kernelbench::run_kernel_benches();
+        print!("{}", kernelbench::to_table(&results));
+        if json {
+            kernelbench::write_json(BENCH_JSON, &results).expect("write bench json");
+            println!("[wrote {BENCH_JSON}]");
+        }
+        println!("[kernels measured in {:.1?}]", start.elapsed());
+        if ids.len() == 1 {
+            return;
+        }
     }
 
     let profile = if quick { Profile::Quick } else { Profile::Full };
@@ -30,7 +51,10 @@ fn main() {
     let selected: Vec<&str> = if ids.iter().any(|i| i == "all") {
         ALL_EXPERIMENTS.to_vec()
     } else {
-        ids.iter().map(|s| s.as_str()).collect()
+        ids.iter()
+            .map(|s| s.as_str())
+            .filter(|&s| s != "kernels")
+            .collect()
     };
 
     println!(

@@ -13,6 +13,7 @@
 //! or CPU frequency.
 
 pub mod experiments;
+pub mod kernelbench;
 pub mod workbench;
 
 pub use workbench::{fmt_duration, fmt_secs, Workbench};

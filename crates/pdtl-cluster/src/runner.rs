@@ -180,11 +180,12 @@ impl ClusterRunner {
         )?;
 
         // Remote nodes start as their replicas land ("the nodes start
-        // calculating as soon as they receive the files").
+        // calculating as soon as they receive the files"). The replica
+        // ships the rank map and scan bounds alongside `.deg`/`.adj`.
         for id in 1..cfg.nodes {
             let node_base = work_dir.join(format!("node{id}")).join("oriented");
             let copy_start = Instant::now();
-            let (_replica, bytes) = og.disk.copy_to(&node_base, &master_stats)?;
+            let bytes = og.replicate_to(&node_base, &master_stats)?;
             let copy = copy_start.elapsed();
             traffic.add_graph(bytes);
             spawn_node(id, node_base.to_string_lossy().into_owned(), copy, bytes)?;

@@ -37,7 +37,7 @@ pub mod theory;
 pub use balance::{split_ranges, BalanceStrategy, EdgeRange};
 pub use error::{CoreError, Result};
 pub use metrics::{PhaseReport, RunReport, WorkerReport};
-pub use mgt::{mgt_count_range, mgt_in_memory};
+pub use mgt::{mgt_count_range, mgt_count_range_opt, mgt_in_memory, mgt_in_memory_opt, MgtOptions};
 pub use order::DegreeOrder;
 pub use orient::{orient_csr, orient_to_disk, OrientedCsr, OrientedGraph};
 pub use runner::{count_triangles, count_triangles_with, LocalConfig, LocalRunner};

@@ -1,21 +1,40 @@
-//! The modified MGT engine (the paper's Algorithm 2).
+//! The modified MGT engine (the paper's Algorithm 2), over the
+//! rank-space oriented graph.
 //!
-//! Given the sorted, oriented graph `G*`, a processor responsible for the
-//! contiguous pivot-edge range `[lo, hi)` repeats, until the range is
-//! exhausted:
+//! Given the sorted, oriented graph `G*` in rank space, a processor
+//! responsible for the contiguous pivot-edge range `[lo, hi)` repeats,
+//! until the range is exhausted:
 //!
 //! 1. **Chunk load** — read the next `c·M` out-neighbours of the range
 //!    into the `edg` array, and record in the dense `ind` array (indexed
 //!    `v - vlow`) each resident vertex's segment offset and length.
-//! 2. **Scan** — stream every vertex `u`'s out-list `N(u)` from disk into
-//!    the `nm` array; compute `N⁺(u)` (those `v ∈ N(u)` with resident
-//!    out-edges) via O(1) `ind` probes; for each such `v`, intersect `nm`
-//!    with `v`'s resident segment and report `(u, v, w)` per common `w`.
+//! 2. **Scan** — stream vertex out-lists `N(u)` from disk into the `nm`
+//!    array; compute `N⁺(u)` (those `v ∈ N(u)` with resident out-edges)
+//!    via O(1) `ind` probes; for each such `v`, intersect the *suffix*
+//!    `nm[idx+1..]` with `v`'s resident segment and report `(u, v, w)`
+//!    per common `w`.
+//!
+//! Rank space buys the hot path two structural wins:
+//!
+//! * **Suffix intersection** — every `w` completing a triangle satisfies
+//!   `w ∈ N(v)` and hence `w > v` numerically, so only the tail of `nm`
+//!   after the pivot can match: roughly half the merge work disappears.
+//! * **Scan pruning** — a chunk resident on `[vlow, vhigh]` can only be
+//!   hit by scanned vertices `u < vhigh` (out-neighbours ascend), so the
+//!   scan stops there; and a vertex whose precomputed `(min, max)`
+//!   out-neighbour bounds miss the window is skipped with
+//!   [`U32Reader::skip`](pdtl_io::U32Reader::skip) instead of read,
+//!   cutting `bytes_read` in the multi-pass regime where MGT's I/O bound
+//!   actually bites. [`MgtOptions::scan_pruning`] gates both (on by
+//!   default; the ablation bench and I/O tests compare).
 //!
 //! Everything is sorted arrays — the paper found set/map structures >10×
 //! slower (§IV-A1). Each triangle is found exactly once because its pivot
 //! edge `(v, w)` occupies exactly one adjacency position, which belongs
 //! to exactly one processor's range and is resident in exactly one chunk.
+//! Triangles are translated back to original ids at the sink boundary
+//! through the graph's [`RankMap`](pdtl_graph::RankMap), so the output
+//! contract (original ids, cone vertex first) is unchanged.
 //!
 //! Correctness does **not** depend on the small-degree assumption
 //! `d* ≤ cM` — a list split across more than two chunks still has each
@@ -30,13 +49,29 @@ use pdtl_io::{CpuIoTimer, IoStats, MemoryBudget};
 
 use crate::balance::EdgeRange;
 use crate::error::Result;
-use crate::intersect::intersect_adaptive_visit;
+use crate::intersect::intersect_adaptive_visit_counted;
 use crate::metrics::WorkerReport;
 use crate::orient::{OrientedCsr, OrientedGraph};
 use crate::sink::TriangleSink;
 
+/// Tuning knobs of the MGT engines (ablation surface).
+#[derive(Debug, Clone, Copy)]
+pub struct MgtOptions {
+    /// Stop each chunk's scan at `vhigh` and seek past out-lists whose
+    /// `(min, max)` bounds cannot overlap the resident window. Disable
+    /// only to measure the ablation (PR 1 behaviour).
+    pub scan_pruning: bool,
+}
+
+impl Default for MgtOptions {
+    fn default() -> Self {
+        Self { scan_pruning: true }
+    }
+}
+
 /// Run MGT over `range` of the oriented graph with the given budget,
-/// reporting triangles to `sink`. One call = one logical processor.
+/// reporting triangles (original ids) to `sink`. One call = one logical
+/// processor.
 pub fn mgt_count_range<S: TriangleSink>(
     og: &OrientedGraph,
     range: EdgeRange,
@@ -44,10 +79,23 @@ pub fn mgt_count_range<S: TriangleSink>(
     sink: &mut S,
     stats: Arc<IoStats>,
 ) -> Result<WorkerReport> {
+    mgt_count_range_opt(og, range, budget, sink, stats, MgtOptions::default())
+}
+
+/// [`mgt_count_range`] with explicit [`MgtOptions`].
+pub fn mgt_count_range_opt<S: TriangleSink>(
+    og: &OrientedGraph,
+    range: EdgeRange,
+    budget: MemoryBudget,
+    sink: &mut S,
+    stats: Arc<IoStats>,
+    opts: MgtOptions,
+) -> Result<WorkerReport> {
     let timer = CpuIoTimer::start(stats.clone());
     let io_before = stats.snapshot();
 
     let offsets = &og.offsets;
+    let ids = og.map.ids();
     let n = og.num_vertices();
     let chunk_cap = budget.chunk_edges();
     let mut edg: Vec<u32> = Vec::with_capacity(chunk_cap.min(range.len() as usize));
@@ -71,34 +119,36 @@ pub fn mgt_count_range<S: TriangleSink>(
         let got = chunk_reader.read_into(&mut edg, len)?;
         debug_assert_eq!(got, len, "range must lie within the adjacency file");
         let chunk_end = pos + len as u64;
-        let vlow = vertex_of(offsets, pos);
-        let vhigh = vertex_of(offsets, chunk_end - 1);
-        ind.clear();
-        ind.resize((vhigh - vlow + 1) as usize, (0, 0));
-        for v in vlow..=vhigh {
-            let seg_start = offsets[v as usize].max(pos);
-            let seg_end = offsets[v as usize + 1].min(chunk_end);
-            if seg_end > seg_start {
-                ind[(v - vlow) as usize] = ((seg_start - pos) as u32, (seg_end - seg_start) as u32);
-            }
-        }
+        let (vlow, vhigh) = build_chunk_index(offsets, pos, chunk_end, &mut ind);
         cpu_ops += len as u64 + ind.len() as u64;
 
-        // -- scan pass over all vertices ------------------------------
+        // -- scan pass ------------------------------------------------
+        // Only u < vhigh can hold a window vertex: out-neighbours ascend
+        // in rank space, so every v ∈ N(u) satisfies v > u.
+        let scan_cap = if opts.scan_pruning { vhigh } else { n };
         scan_reader.seek_to(0)?;
-        for u in 0..n {
+        for u in 0..scan_cap {
             let du = (offsets[u as usize + 1] - offsets[u as usize]) as usize;
             if du == 0 {
                 continue;
+            }
+            if opts.scan_pruning {
+                let (bmin, bmax) = og.bounds[u as usize];
+                if bmax < vlow || bmin > vhigh {
+                    scan_reader.skip(du as u64)?;
+                    cpu_ops += 1;
+                    continue;
+                }
             }
             nm.clear();
             scan_reader.read_into(&mut nm, du)?;
             cpu_ops += du as u64;
 
-            // N+(u): entries of nm with resident out-edges. nm is sorted
-            // by id, so restrict to [vlow, vhigh] first.
+            // N+(u): entries of nm with resident out-edges. nm is sorted,
+            // so restrict to [vlow, vhigh] first.
             let lo_i = nm.partition_point(|&x| x < vlow);
             let hi_i = nm.partition_point(|&x| x <= vhigh);
+            let iu = ids[u as usize];
             for idx in lo_i..hi_i {
                 let v = nm[idx];
                 let (seg_off, seg_len) = ind[(v - vlow) as usize];
@@ -106,8 +156,12 @@ pub fn mgt_count_range<S: TriangleSink>(
                     continue;
                 }
                 let ev = &edg[seg_off as usize..(seg_off + seg_len) as usize];
-                cpu_ops += (nm.len() + ev.len()) as u64;
-                triangles += intersect_adaptive_visit(&nm, ev, |w| sink.emit(u, v, w));
+                let iv = ids[v as usize];
+                let (t, cmps) = intersect_adaptive_visit_counted(&nm[idx + 1..], ev, |w| {
+                    sink.emit(iu, iv, ids[w as usize])
+                });
+                triangles += t;
+                cpu_ops += cmps;
             }
         }
 
@@ -134,6 +188,30 @@ pub fn mgt_count_range<S: TriangleSink>(
     })
 }
 
+/// Build the dense chunk index for the resident window `[pos,
+/// chunk_end)`: `ind[v - vlow] = (offset within the chunk, length)` for
+/// every vertex with resident out-edges. Shared by the disk and
+/// in-memory engines so they cannot drift. Returns `(vlow, vhigh)`.
+fn build_chunk_index(
+    offsets: &[u64],
+    pos: u64,
+    chunk_end: u64,
+    ind: &mut Vec<(u32, u32)>,
+) -> (u32, u32) {
+    let vlow = vertex_of(offsets, pos);
+    let vhigh = vertex_of(offsets, chunk_end - 1);
+    ind.clear();
+    ind.resize((vhigh - vlow + 1) as usize, (0, 0));
+    for v in vlow..=vhigh {
+        let seg_start = offsets[v as usize].max(pos);
+        let seg_end = offsets[v as usize + 1].min(chunk_end);
+        if seg_end > seg_start {
+            ind[(v - vlow) as usize] = ((seg_start - pos) as u32, (seg_end - seg_start) as u32);
+        }
+    }
+    (vlow, vhigh)
+}
+
 /// Index of the vertex owning adjacency position `pos` (vertices with
 /// `d* = 0` own no positions and are skipped automatically).
 #[inline]
@@ -144,13 +222,24 @@ fn vertex_of(offsets: &[u64], pos: u64) -> u32 {
 
 /// Pure in-memory MGT over an [`OrientedCsr`] — identical chunk logic
 /// without the disk, used by tests, baselines and the convenience
-/// counter. Returns (triangles, cpu_ops).
+/// counter. Emits original ids. Returns (triangles, cpu_ops).
 pub fn mgt_in_memory<S: TriangleSink>(
     o: &OrientedCsr,
     budget: MemoryBudget,
     sink: &mut S,
 ) -> (u64, u64) {
+    mgt_in_memory_opt(o, budget, sink, MgtOptions::default())
+}
+
+/// [`mgt_in_memory`] with explicit [`MgtOptions`].
+pub fn mgt_in_memory_opt<S: TriangleSink>(
+    o: &OrientedCsr,
+    budget: MemoryBudget,
+    sink: &mut S,
+    opts: MgtOptions,
+) -> (u64, u64) {
     let n = o.num_vertices();
+    let ids = o.map.ids();
     let m_star = o.m_star();
     let chunk_cap = budget.chunk_edges() as u64;
     let mut triangles = 0u64;
@@ -160,36 +249,37 @@ pub fn mgt_in_memory<S: TriangleSink>(
     let mut pos = 0u64;
     while pos < m_star {
         let chunk_end = (pos + chunk_cap).min(m_star);
-        let vlow = vertex_of(&o.offsets, pos);
-        let vhigh = vertex_of(&o.offsets, chunk_end - 1);
-        ind.clear();
-        ind.resize((vhigh - vlow + 1) as usize, (0, 0));
-        for v in vlow..=vhigh {
-            let seg_start = o.offsets[v as usize].max(pos);
-            let seg_end = o.offsets[v as usize + 1].min(chunk_end);
-            if seg_end > seg_start {
-                ind[(v - vlow) as usize] = ((seg_start - pos) as u32, (seg_end - seg_start) as u32);
-            }
-        }
+        let (vlow, vhigh) = build_chunk_index(&o.offsets, pos, chunk_end, &mut ind);
         let edg = &o.adj[pos as usize..chunk_end as usize];
         cpu_ops += edg.len() as u64 + ind.len() as u64;
 
-        for u in 0..n {
+        let scan_cap = if opts.scan_pruning { vhigh } else { n };
+        for u in 0..scan_cap {
             let nm = o.out(u);
             if nm.is_empty() {
+                continue;
+            }
+            if opts.scan_pruning && (*nm.last().unwrap() < vlow || nm[0] > vhigh) {
+                cpu_ops += 1;
                 continue;
             }
             cpu_ops += nm.len() as u64;
             let lo_i = nm.partition_point(|&x| x < vlow);
             let hi_i = nm.partition_point(|&x| x <= vhigh);
-            for &v in &nm[lo_i..hi_i] {
+            let iu = ids[u as usize];
+            for idx in lo_i..hi_i {
+                let v = nm[idx];
                 let (seg_off, seg_len) = ind[(v - vlow) as usize];
                 if seg_len == 0 {
                     continue;
                 }
                 let ev = &edg[seg_off as usize..(seg_off + seg_len) as usize];
-                cpu_ops += (nm.len() + ev.len()) as u64;
-                triangles += intersect_adaptive_visit(nm, ev, |w| sink.emit(u, v, w));
+                let iv = ids[v as usize];
+                let (t, cmps) = intersect_adaptive_visit_counted(&nm[idx + 1..], ev, |w| {
+                    sink.emit(iu, iv, ids[w as usize])
+                });
+                triangles += t;
+                cpu_ops += cmps;
             }
         }
         pos = chunk_end;
@@ -276,6 +366,63 @@ mod tests {
     }
 
     #[test]
+    fn pruned_and_unpruned_agree() {
+        let g = rmat(8, 11).unwrap();
+        let expected = triangle_count(&g);
+        let (og, stats) = disk_oriented(&g, "prune-agree");
+        for edges in [1 << 20, 512, 16] {
+            for prune in [true, false] {
+                let r = mgt_count_range_opt(
+                    &og,
+                    full_range(&og),
+                    MemoryBudget::edges(edges),
+                    &mut CountSink,
+                    stats.clone(),
+                    MgtOptions {
+                        scan_pruning: prune,
+                    },
+                )
+                .unwrap();
+                assert_eq!(r.triangles, expected, "budget {edges} prune {prune}");
+            }
+        }
+    }
+
+    #[test]
+    fn scan_pruning_cuts_bytes_read_in_multipass_runs() {
+        // The adjacency file must span several read buffers (64 KiB)
+        // for block-granular pruning to bite: RMAT-12 is ~4 buffers.
+        let g = rmat(12, 18).unwrap();
+        let (og, _) = disk_oriented(&g, "prune-io");
+        let run = |prune: bool| {
+            let s = IoStats::new();
+            let r = mgt_count_range_opt(
+                &og,
+                full_range(&og),
+                MemoryBudget::edges(4096),
+                &mut CountSink,
+                s,
+                MgtOptions {
+                    scan_pruning: prune,
+                },
+            )
+            .unwrap();
+            (r.triangles, r.io.bytes_read)
+        };
+        let (t_pruned, io_pruned) = run(true);
+        let (t_full, io_full) = run(false);
+        println!(
+            "scan pruning bytes_read: {io_pruned} vs {io_full} ({:.1}% cut)",
+            100.0 * (1.0 - io_pruned as f64 / io_full as f64)
+        );
+        assert_eq!(t_pruned, t_full);
+        assert!(
+            io_pruned * 5 <= io_full * 4,
+            "pruning must cut at least 20% of bytes_read: {io_pruned} vs {io_full}"
+        );
+    }
+
+    #[test]
     fn ranges_partition_the_count() {
         let g = rmat(8, 12).unwrap();
         let expected = triangle_count(&g);
@@ -335,6 +482,8 @@ mod tests {
 
     #[test]
     fn each_triangle_emitted_once_with_cone_first() {
+        // The sink boundary translates ranks back: emitted triples are
+        // original ids, cone vertex first under the degree order.
         let g = rmat(6, 14).unwrap();
         let (og, stats) = disk_oriented(&g, "cone");
         let mut sink = CollectSink::default();
@@ -351,6 +500,7 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for &(u, v, w) in &sink.triangles {
             assert!(ord.precedes(u, v) && ord.precedes(v, w), "u ≺ v ≺ w");
+            assert!(g.has_edge(u, v) && g.has_edge(v, w) && g.has_edge(u, w));
             let mut t = [u, v, w];
             t.sort_unstable();
             assert!(seen.insert(t), "duplicate triangle {t:?}");
@@ -392,14 +542,8 @@ mod tests {
         let (og, stats) = disk_oriented(&g, "iogrow");
         let run = |edges: usize| {
             let s = IoStats::new();
-            let og2 = OrientedGraph {
-                disk: og.disk.clone(),
-                offsets: og.offsets.clone(),
-                d_star_max: og.d_star_max,
-                orig_degrees: None,
-            };
             let r = mgt_count_range(
-                &og2,
+                &og,
                 EdgeRange {
                     start: 0,
                     end: og.m_star(),
@@ -434,15 +578,37 @@ mod tests {
     }
 
     #[test]
+    fn in_memory_pruning_agrees_and_saves_work() {
+        let g = rmat(8, 20).unwrap();
+        let o = orient_csr(&g);
+        let budget = MemoryBudget::edges(512);
+        let (t_p, ops_p) = mgt_in_memory_opt(&o, budget, &mut CountSink, MgtOptions::default());
+        let (t_f, ops_f) = mgt_in_memory_opt(
+            &o,
+            budget,
+            &mut CountSink,
+            MgtOptions {
+                scan_pruning: false,
+            },
+        );
+        assert_eq!(t_p, t_f);
+        assert!(
+            ops_p < ops_f,
+            "pruning must reduce counted work: {ops_p} vs {ops_f}"
+        );
+    }
+
+    #[test]
     fn cpu_ops_respect_arboricity_flavor() {
         // On the (planar) grid the intersection work must stay linear-ish
         // in |E|: cpu_ops = O(|E|) with a small constant when M is large.
+        // The counted-comparison accounting tightens the old 20|E| bound.
         let g = grid(40, 40).unwrap();
         let o = orient_csr(&g);
         let (_, ops) = mgt_in_memory(&o, MemoryBudget::edges(1 << 22), &mut CountSink);
         let m = g.num_edges();
         assert!(
-            ops < 20 * m,
+            ops < 8 * m,
             "planar graph: ops {ops} should be O(|E|) = O({m})"
         );
     }
@@ -455,5 +621,16 @@ mod tests {
         assert_eq!(vertex_of(&offsets, 1), 0);
         assert_eq!(vertex_of(&offsets, 2), 2);
         assert_eq!(vertex_of(&offsets, 4), 2);
+    }
+
+    #[test]
+    fn chunk_index_marks_partial_segments() {
+        // offsets: v0: [0,3), v1: [3,4), v2: [4,8)
+        let offsets = [0u64, 3, 4, 8];
+        let mut ind = Vec::new();
+        let (vlow, vhigh) = build_chunk_index(&offsets, 2, 6, &mut ind);
+        assert_eq!((vlow, vhigh), (0, 2));
+        // v0 contributes [2,3), v1 all of [3,4), v2 [4,6)
+        assert_eq!(ind, vec![(0, 1), (1, 1), (2, 2)]);
     }
 }

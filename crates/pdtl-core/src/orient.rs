@@ -1,40 +1,66 @@
-//! Degree-based orientation (sequential and multicore).
+//! Degree-based orientation into **rank space** (sequential and
+//! multicore).
 //!
 //! Orientation rewrites the bidirectional input into `G* = (V, E*)` where
-//! `(u, v) ∈ E*` iff `{u, v} ∈ E` and `u ≺ v` under the degree order.
-//! Filtering each (sorted) adjacency list preserves its sortedness, so
-//! the output is again a valid PDTL-format graph — with exactly `|E|`
-//! directed edges.
+//! `(u, v) ∈ E*` iff `{u, v} ∈ E` and `u ≺ v` under the degree order —
+//! and simultaneously relabels every vertex by its *rank* in that order,
+//! so `u ≺ v ⟺ u < v` numerically. In rank space every out-neighbour of
+//! `v` is greater than `v`, which is what lets the MGT inner loop
+//! intersect only the admissible suffix of `N(u)` and prune whole
+//! out-lists against a chunk's resident window. The [`RankMap`] is
+//! carried on the oriented graph and translated back at the sink
+//! boundary, so listings still emit original ids.
 //!
 //! The multicore path follows Section IV-B1: *"the master reads the
 //! entire degree array into memory (provided |V| < PM), and each core
-//! performs the orientation on a contiguous set of edges, which are then
-//! concatenated."* Here each worker filters a contiguous vertex range of
-//! the adjacency file into a temporary shard; the master concatenates the
-//! shards and writes the oriented degree file. Orientation costs
-//! `O(scan(|E|))` I/Os and `O(|E|)` CPU (Theorem IV.2).
+//! performs the orientation on a contiguous set of edges."* Relabeling
+//! adds one counting pass: pass 1 scans the adjacency sequentially and
+//! counts each vertex's oriented out-degree (fixing the rank-space
+//! layout), pass 2 scans again and writes each filtered, rank-mapped,
+//! sorted out-list directly at its rank-space position. Orientation
+//! stays `O(scan(|E|))` I/Os (two scans instead of one) and `O(|E|)`
+//! CPU plus the `O(|V| log |V|)` rank sort (Theorem IV.2's assumptions
+//! already hold the degree array in memory).
+//!
+//! Alongside `base{.deg,.adj}` the orientation persists:
+//!
+//! * `base.map` — the rank → original-id table (`|V|` u32s);
+//! * `base.bnd` — per-rank `(min, max)` out-neighbour bounds
+//!   (`2|V|` u32s, `(u32::MAX, 0)` for empty lists), the `Θ(|V|)`
+//!   index MGT's scan pruning seeks past non-overlapping out-lists with.
 
+use std::fs::File;
+use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Instant;
 
 use pdtl_graph::disk::offsets_from_degrees;
+use pdtl_graph::rank::RankMap;
 use pdtl_graph::{DiskGraph, Graph};
 use pdtl_io::{CpuIoTimer, IoStats, U32Reader, U32Writer};
 use rayon::prelude::*;
 
 use crate::error::Result;
 use crate::metrics::PhaseReport;
-use crate::order::DegreeOrder;
+
+/// `(min, max)` out-neighbour bounds of a vertex with no out-edges.
+pub const EMPTY_BOUNDS: (u32, u32) = (u32::MAX, 0);
 
 /// An oriented graph held in memory (used by baselines and the
-/// in-memory MGT variant).
+/// in-memory MGT variant). Vertices are **ranks**: adjacency, offsets
+/// and degrees are all indexed by rank, and every out-neighbour of `v`
+/// is numerically greater than `v`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OrientedCsr {
-    /// Oriented CSR offsets (`n + 1`).
+    /// Oriented CSR offsets (`n + 1`), rank-indexed.
     pub offsets: Vec<u64>,
-    /// Oriented adjacency (out-neighbours, sorted by id).
+    /// Oriented adjacency in rank space (out-neighbours, sorted; all
+    /// strictly greater than their source rank).
     pub adj: Vec<u32>,
-    /// Original (undirected) degrees.
+    /// The rank ↔ original-id bijection.
+    pub map: RankMap,
+    /// Original (undirected) degree of the vertex at each rank.
     pub orig_degrees: Vec<u32>,
     /// Maximum oriented out-degree `d*_max`.
     pub d_star_max: u32,
@@ -51,18 +77,18 @@ impl OrientedCsr {
         *self.offsets.last().unwrap()
     }
 
-    /// Oriented out-degree of `v`.
+    /// Oriented out-degree of rank `v`.
     pub fn d_star(&self, v: u32) -> u32 {
         (self.offsets[v as usize + 1] - self.offsets[v as usize]) as u32
     }
 
-    /// Oriented out-neighbours of `v`.
+    /// Oriented out-neighbours of rank `v` (ranks, sorted ascending).
     pub fn out(&self, v: u32) -> &[u32] {
         &self.adj[self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize]
     }
 
     /// Post-orientation in-degrees `d(v) - d*(v)` — the load-balancing
-    /// weights of Section IV-B1.
+    /// weights of Section IV-B1, rank-indexed like everything else.
     pub fn in_degrees(&self) -> Vec<u32> {
         (0..self.num_vertices())
             .map(|v| self.orig_degrees[v as usize] - self.d_star(v))
@@ -70,47 +96,75 @@ impl OrientedCsr {
     }
 }
 
-/// Orient an in-memory graph.
+/// Orient an in-memory graph into rank space.
+///
+/// Two passes, no per-list sorting: pass 1 counts each rank's oriented
+/// out-degree; pass 2 walks *target* ranks in ascending order and
+/// appends each arc to its source's bucket, so every out-list comes out
+/// sorted by construction (the classic counting-sort CSR transpose).
 pub fn orient_csr(g: &Graph) -> OrientedCsr {
     let degrees = g.degrees();
-    let ord = DegreeOrder::new(&degrees);
+    let map = RankMap::by_degree(&degrees);
+    let ranks = map.ranks();
     let n = g.num_vertices();
-    let mut offsets = Vec::with_capacity(n as usize + 1);
-    offsets.push(0u64);
-    let mut adj = Vec::with_capacity(g.num_edges() as usize);
-    let mut d_star_max = 0u32;
+
+    let mut d_star = vec![0u32; n as usize];
     for u in 0..n {
-        let before = adj.len();
-        adj.extend(
-            g.neighbors(u)
-                .iter()
-                .copied()
-                .filter(|&v| ord.precedes(u, v)),
-        );
-        let d = (adj.len() - before) as u32;
-        d_star_max = d_star_max.max(d);
-        offsets.push(adj.len() as u64);
+        let ru = ranks[u as usize];
+        for &v in g.neighbors(u) {
+            if ru < ranks[v as usize] {
+                d_star[ru as usize] += 1;
+            }
+        }
     }
+    let offsets = offsets_from_degrees(&d_star);
+    let d_star_max = d_star.iter().copied().max().unwrap_or(0);
+
+    let mut adj = vec![0u32; *offsets.last().unwrap() as usize];
+    let mut cursor: Vec<u64> = offsets[..n as usize].to_vec();
+    for rv in 0..n {
+        let v = map.to_id(rv);
+        for &w in g.neighbors(v) {
+            let rw = ranks[w as usize];
+            if rw < rv {
+                adj[cursor[rw as usize] as usize] = rv;
+                cursor[rw as usize] += 1;
+            }
+        }
+    }
+
+    let orig_degrees = (0..n).map(|r| degrees[map.to_id(r) as usize]).collect();
     OrientedCsr {
         offsets,
         adj,
-        orig_degrees: degrees,
+        map,
+        orig_degrees,
         d_star_max,
     }
 }
 
-/// An oriented graph stored on disk in PDTL format, plus the in-memory
-/// metadata every MGT worker needs (`offsets`, `d*_max`).
+/// An oriented graph stored on disk in PDTL format (rank space), plus
+/// the in-memory metadata every MGT worker needs: `offsets`, `d*_max`,
+/// the rank map for the sink boundary, and the per-vertex out-neighbour
+/// bounds driving scan pruning.
 #[derive(Debug, Clone)]
 pub struct OrientedGraph {
-    /// The oriented `.deg`/`.adj` pair.
+    /// The oriented `.deg`/`.adj` pair (rank order).
     pub disk: DiskGraph,
-    /// Oriented CSR offsets (`n + 1`), the in-memory degree index of
-    /// Section IV-A1 (assumes `|V| < PM`, as the paper does).
+    /// Oriented CSR offsets (`n + 1`), rank-indexed — the in-memory
+    /// degree index of Section IV-A1 (assumes `|V| < PM`, as the paper
+    /// does).
     pub offsets: Vec<u64>,
     /// Maximum oriented out-degree, sizes the `nm`/`nmp` scratch arrays.
     pub d_star_max: u32,
-    /// Original undirected degrees; present when produced by
+    /// The rank ↔ original-id bijection; the sink boundary translates
+    /// ranks back through it so listings emit original ids.
+    pub map: RankMap,
+    /// Per-rank `(min, max)` out-neighbour bounds ([`EMPTY_BOUNDS`] for
+    /// empty lists); MGT skips out-lists whose bounds cannot overlap a
+    /// chunk's resident window.
+    pub bounds: Vec<(u32, u32)>,
+    /// Original undirected degrees by rank; present when produced by
     /// [`orient_to_disk`], absent when reopened from disk (only the
     /// master needs them, for load balancing).
     pub orig_degrees: Option<Vec<u32>>,
@@ -127,12 +181,12 @@ impl OrientedGraph {
         (self.offsets.len() - 1) as u32
     }
 
-    /// Oriented out-degree of `v`.
+    /// Oriented out-degree of rank `v`.
     pub fn d_star(&self, v: u32) -> u32 {
         (self.offsets[v as usize + 1] - self.offsets[v as usize]) as u32
     }
 
-    /// Post-orientation in-degrees; requires `orig_degrees`.
+    /// Post-orientation in-degrees by rank; requires `orig_degrees`.
     pub fn in_degrees(&self) -> Option<Vec<u32>> {
         let orig = self.orig_degrees.as_ref()?;
         Some(
@@ -142,25 +196,106 @@ impl OrientedGraph {
         )
     }
 
+    /// Path of the rank-map file for `base`.
+    pub fn map_path(base: impl AsRef<Path>) -> PathBuf {
+        suffixed(base.as_ref(), ".map")
+    }
+
+    /// Path of the out-neighbour-bounds file for `base`.
+    pub fn bnd_path(base: impl AsRef<Path>) -> PathBuf {
+        suffixed(base.as_ref(), ".bnd")
+    }
+
     /// Reopen an oriented graph previously written to `base` (e.g. a
     /// replica copied to another node). Rebuilds offsets and `d*_max`
-    /// from the oriented degree file.
+    /// from the oriented degree file and reloads the rank map and scan
+    /// bounds from `base.map` / `base.bnd`.
     pub fn open(base: impl AsRef<Path>, stats: &Arc<IoStats>) -> Result<Self> {
+        let base = base.as_ref();
         let disk = DiskGraph::open(base, stats)?;
         let degrees = disk.load_degrees(stats)?;
         let offsets = offsets_from_degrees(&degrees);
         let d_star_max = degrees.iter().copied().max().unwrap_or(0);
+        let map = RankMap::read(Self::map_path(base), stats)?;
+        if map.len() as usize != degrees.len() {
+            return Err(pdtl_io::IoError::malformed(
+                Self::map_path(base),
+                format!(
+                    "rank map covers {} vertices, degree file has {}",
+                    map.len(),
+                    degrees.len()
+                ),
+            )
+            .into());
+        }
+        let bounds = read_bounds(&Self::bnd_path(base), degrees.len(), stats)?;
         Ok(Self {
             disk,
             offsets,
             d_star_max,
+            map,
+            bounds,
             orig_degrees: None,
         })
     }
+
+    /// Replicate the oriented graph — `.deg`, `.adj`, `.map` and `.bnd`
+    /// — to `new_base` (a node's local disk). Returns the bytes copied.
+    pub fn replicate_to(&self, new_base: impl AsRef<Path>, stats: &Arc<IoStats>) -> Result<u64> {
+        let new_base = new_base.as_ref();
+        let (_replica, mut total) = self.disk.copy_to(new_base, stats)?;
+        for (src, dst) in [
+            (Self::map_path(self.disk.base()), Self::map_path(new_base)),
+            (Self::bnd_path(self.disk.base()), Self::bnd_path(new_base)),
+        ] {
+            let start = Instant::now();
+            let bytes =
+                std::fs::copy(&src, &dst).map_err(|e| pdtl_io::IoError::os("copy", &src, e))?;
+            let elapsed = start.elapsed();
+            stats.record_read(bytes, elapsed / 2);
+            stats.record_write(bytes, elapsed / 2);
+            total += bytes;
+        }
+        Ok(total)
+    }
 }
 
-/// Orient `input` (an undirected PDTL-format graph on disk) into
-/// `out_base{.deg,.adj}` using `threads` cores.
+fn suffixed(base: &Path, ext: &str) -> PathBuf {
+    let mut os = base.as_os_str().to_os_string();
+    os.push(ext);
+    PathBuf::from(os)
+}
+
+fn read_bounds(path: &Path, n: usize, stats: &Arc<IoStats>) -> Result<Vec<(u32, u32)>> {
+    let mut r = U32Reader::open(path, stats.clone())?;
+    let flat = r.read_all()?;
+    if flat.len() != 2 * n {
+        return Err(pdtl_io::IoError::malformed(
+            path,
+            format!(
+                "bounds file holds {} values, expected {}",
+                flat.len(),
+                2 * n
+            ),
+        )
+        .into());
+    }
+    Ok(flat.chunks_exact(2).map(|c| (c[0], c[1])).collect())
+}
+
+fn write_bounds(path: &Path, bounds: &[(u32, u32)], stats: &Arc<IoStats>) -> Result<()> {
+    let mut w = U32Writer::create(path, stats.clone())?;
+    for &(lo, hi) in bounds {
+        w.write(lo)?;
+        w.write(hi)?;
+    }
+    w.finish()?;
+    Ok(())
+}
+
+/// Orient `input` (an undirected PDTL-format graph on disk) into the
+/// rank-space pair `out_base{.deg,.adj}` (plus `.map`/`.bnd`) using
+/// `threads` cores.
 ///
 /// Returns the oriented graph and a [`PhaseReport`] with the phase's wall
 /// time, CPU/I-O split and counted work (this is the quantity Table II
@@ -176,111 +311,137 @@ pub fn orient_to_disk(
     let timer = CpuIoTimer::start(stats.clone());
     let before = stats.snapshot();
 
-    // Per Section IV-B1 the degree array is read once into memory.
+    // Per Section IV-B1 the degree array is read once into memory; the
+    // rank permutation is O(|V| log |V|) on it.
     let degrees = input.load_degrees(stats)?;
     let n = degrees.len() as u32;
-    let offsets = offsets_from_degrees(&degrees);
-    let total = *offsets.last().unwrap();
+    let in_offsets = offsets_from_degrees(&degrees);
+    let total = *in_offsets.last().unwrap();
+    let map = RankMap::by_degree(&degrees);
+    let ranks = map.ranks();
 
     // Contiguous vertex ranges with ~equal adjacency volume per core.
-    let bounds = vertex_partition(&offsets, threads);
+    let parts = vertex_partition(&in_offsets, threads);
 
-    struct Shard {
-        path: PathBuf,
-        d_star: Vec<u32>,
-        d_star_max: u32,
-        written: u64,
-    }
-
-    let shards: Vec<Result<Shard>> = bounds
+    // Pass 1: sequential scan, count each vertex's oriented out-degree
+    // (neighbours of larger rank).
+    let counted: Vec<Result<Vec<u32>>> = parts
         .par_iter()
-        .enumerate()
-        .map(|(i, &(v_begin, v_end))| -> Result<Shard> {
-            let ord = DegreeOrder::new(&degrees);
-            let mut shard_path = out_base.as_os_str().to_os_string();
-            shard_path.push(format!(".shard{i}"));
-            let shard_path = PathBuf::from(shard_path);
+        .map(|&(v_begin, v_end)| -> Result<Vec<u32>> {
             let mut reader = input.open_adj(stats)?;
-            reader.seek_to(offsets[v_begin as usize])?;
-            let mut writer = U32Writer::create(&shard_path, stats.clone())?;
-            let mut d_star = Vec::with_capacity((v_end - v_begin) as usize);
-            let mut d_star_max = 0u32;
+            reader.seek_to(in_offsets[v_begin as usize])?;
+            let mut kept = Vec::with_capacity((v_end - v_begin) as usize);
             let mut nbuf: Vec<u32> = Vec::new();
             for u in v_begin..v_end {
-                let du = (offsets[u as usize + 1] - offsets[u as usize]) as usize;
+                let du = (in_offsets[u as usize + 1] - in_offsets[u as usize]) as usize;
                 nbuf.clear();
                 reader.read_into(&mut nbuf, du)?;
-                let mut kept = 0u32;
-                for &v in &nbuf {
-                    if ord.precedes(u, v) {
-                        writer.write(v)?;
-                        kept += 1;
-                    }
-                }
-                d_star_max = d_star_max.max(kept);
-                d_star.push(kept);
+                let ru = ranks[u as usize];
+                kept.push(nbuf.iter().filter(|&&v| ranks[v as usize] > ru).count() as u32);
             }
-            let written = writer.finish()?;
-            Ok(Shard {
-                path: shard_path,
-                d_star,
-                d_star_max,
-                written,
-            })
+            Ok(kept)
+        })
+        .collect();
+    let mut d_star_orig = Vec::with_capacity(n as usize);
+    for c in counted {
+        d_star_orig.extend(c?);
+    }
+    debug_assert_eq!(d_star_orig.len(), n as usize);
+
+    // Rank-space layout: degree/offset arrays permuted into rank order.
+    let d_star_rank: Vec<u32> = (0..n).map(|r| d_star_orig[map.to_id(r) as usize]).collect();
+    let rank_offsets = offsets_from_degrees(&d_star_rank);
+    let d_star_max = d_star_rank.iter().copied().max().unwrap_or(0);
+    let m_star = *rank_offsets.last().unwrap();
+
+    // Oriented degree file (rank order) + the rank map.
+    let mut degw = U32Writer::create(suffixed(&out_base, ".deg"), stats.clone())?;
+    degw.write_all(&d_star_rank)?;
+    degw.finish()?;
+    map.write(OrientedGraph::map_path(&out_base), stats)?;
+
+    // Pass 2: sequential scan again; each filtered, rank-mapped, sorted
+    // out-list is written directly at its rank-space position in the
+    // pre-sized adjacency file (scattered exact-size writes — the price
+    // of the permutation, paid once at preprocessing time).
+    let adj_p = suffixed(&out_base, ".adj");
+    {
+        let f = File::create(&adj_p).map_err(|e| pdtl_io::IoError::os("create", &adj_p, e))?;
+        f.set_len(m_star * 4)
+            .map_err(|e| pdtl_io::IoError::os("truncate", &adj_p, e))?;
+    }
+    // Per-worker list of (rank, out-neighbour bounds) it wrote.
+    type WrittenBounds = Vec<(u32, (u32, u32))>;
+    let written: Vec<Result<WrittenBounds>> = parts
+        .par_iter()
+        .map(|&(v_begin, v_end)| -> Result<WrittenBounds> {
+            let mut reader = input.open_adj(stats)?;
+            reader.seek_to(in_offsets[v_begin as usize])?;
+            let mut out = File::options()
+                .write(true)
+                .open(&adj_p)
+                .map_err(|e| pdtl_io::IoError::os("open", &adj_p, e))?;
+            let mut nbuf: Vec<u32> = Vec::new();
+            let mut list: Vec<u32> = Vec::new();
+            let mut bytes: Vec<u8> = Vec::new();
+            let mut seen = Vec::new();
+            for u in v_begin..v_end {
+                let du = (in_offsets[u as usize + 1] - in_offsets[u as usize]) as usize;
+                nbuf.clear();
+                reader.read_into(&mut nbuf, du)?;
+                let ru = ranks[u as usize];
+                list.clear();
+                list.extend(
+                    nbuf.iter()
+                        .map(|&v| ranks[v as usize])
+                        .filter(|&rv| rv > ru),
+                );
+                if list.is_empty() {
+                    continue;
+                }
+                list.sort_unstable();
+                seen.push((ru, (list[0], *list.last().unwrap())));
+                bytes.clear();
+                for &rv in &list {
+                    bytes.extend_from_slice(&rv.to_le_bytes());
+                }
+                out.seek(SeekFrom::Start(rank_offsets[ru as usize] * 4))
+                    .map_err(|e| pdtl_io::IoError::os("seek", &adj_p, e))?;
+                stats.record_seek();
+                let start = Instant::now();
+                out.write_all(&bytes)
+                    .map_err(|e| pdtl_io::IoError::os("write", &adj_p, e))?;
+                stats.record_write(bytes.len() as u64, start.elapsed());
+            }
+            Ok(seen)
         })
         .collect();
 
-    // Assemble: oriented degree file + concatenated adjacency shards.
-    let mut d_star_all = Vec::with_capacity(n as usize);
-    let mut d_star_max = 0u32;
-    let mut shard_list = Vec::with_capacity(shards.len());
-    for s in shards {
-        let s = s?;
-        d_star_all.extend_from_slice(&s.d_star);
-        d_star_max = d_star_max.max(s.d_star_max);
-        shard_list.push(s);
-    }
-    debug_assert_eq!(d_star_all.len(), n as usize);
-
-    let mut deg_path = out_base.as_os_str().to_os_string();
-    deg_path.push(".deg");
-    let mut degw = U32Writer::create(PathBuf::from(deg_path), stats.clone())?;
-    degw.write_all(&d_star_all)?;
-    degw.finish()?;
-
-    let mut adj_path = out_base.as_os_str().to_os_string();
-    adj_path.push(".adj");
-    let mut adjw = U32Writer::create(PathBuf::from(adj_path), stats.clone())?;
-    let mut buf: Vec<u32> = Vec::new();
-    for s in &shard_list {
-        let mut r = U32Reader::open(&s.path, stats.clone())?;
-        let mut remaining = s.written as usize;
-        while remaining > 0 {
-            buf.clear();
-            let take = remaining.min(16 * 1024);
-            let got = r.read_into(&mut buf, take)?;
-            adjw.write_all(&buf)?;
-            remaining -= got;
+    let mut bounds = vec![EMPTY_BOUNDS; n as usize];
+    for w in written {
+        for (r, b) in w? {
+            bounds[r as usize] = b;
         }
-        std::fs::remove_file(&s.path).map_err(|e| pdtl_io::IoError::os("remove", &s.path, e))?;
     }
-    adjw.finish()?;
+    write_bounds(&OrientedGraph::bnd_path(&out_base), &bounds, stats)?;
 
     let disk = DiskGraph::open(&out_base, stats)?;
-    let oriented_offsets = offsets_from_degrees(&d_star_all);
+    let orig_degrees_rank: Vec<u32> = (0..n).map(|r| degrees[map.to_id(r) as usize]).collect();
     let report = PhaseReport {
         breakdown: timer.finish(),
         io: diff_snapshot(&before, &stats.snapshot()),
-        // Each of the 2|E| adjacency entries is examined exactly once.
-        cpu_ops: total + n as u64,
+        // Each of the 2|E| adjacency entries is examined once per pass.
+        cpu_ops: 2 * total + n as u64,
         threads,
     };
     Ok((
         OrientedGraph {
             disk,
-            offsets: oriented_offsets,
+            offsets: rank_offsets,
             d_star_max,
-            orig_degrees: Some(degrees),
+            map,
+            bounds,
+            orig_degrees: Some(orig_degrees_rank),
         },
         report,
     ))
@@ -324,6 +485,7 @@ fn diff_snapshot(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::order::DegreeOrder;
     use pdtl_graph::gen::classic::{complete, star, wheel};
     use pdtl_graph::gen::rmat::rmat;
 
@@ -342,13 +504,30 @@ mod tests {
     }
 
     #[test]
-    fn csr_orientation_is_a_dag_under_order() {
+    fn rank_space_arcs_point_upward() {
+        // The rank-space invariant the MGT optimisations rely on: every
+        // out-neighbour of v is numerically greater than v.
         let g = rmat(7, 3).unwrap();
         let o = orient_csr(&g);
-        let ord = DegreeOrder::new(&o.orig_degrees);
         for u in 0..o.num_vertices() {
             for &v in o.out(u) {
-                assert!(ord.precedes(u, v), "every arc respects ≺");
+                assert!(u < v, "rank arcs must ascend: {u} -> {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn rank_arcs_match_degree_order_on_original_ids() {
+        let g = rmat(7, 3).unwrap();
+        let degrees = g.degrees();
+        let ord = DegreeOrder::new(&degrees);
+        let o = orient_csr(&g);
+        for u in 0..o.num_vertices() {
+            let iu = o.map.to_id(u);
+            for &v in o.out(u) {
+                let iv = o.map.to_id(v);
+                assert!(ord.precedes(iu, iv), "every arc respects ≺");
+                assert!(g.has_edge(iu, iv), "arcs are real edges");
             }
         }
     }
@@ -361,6 +540,13 @@ mod tests {
             let out = o.out(u);
             assert!(out.windows(2).all(|w| w[0] < w[1]));
         }
+    }
+
+    #[test]
+    fn rank_degrees_are_nondecreasing() {
+        let g = rmat(7, 5).unwrap();
+        let o = orient_csr(&g);
+        assert!(o.orig_degrees.windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]
@@ -382,12 +568,15 @@ mod tests {
     #[test]
     fn star_orients_towards_hub() {
         // In a star all leaves have degree 1 < hub degree, so every edge
-        // points leaf -> hub and the hub has d* = 0.
+        // points leaf -> hub; in rank space the hub is the last rank.
         let g = star(10).unwrap();
         let o = orient_csr(&g);
-        assert_eq!(o.d_star(0), 0);
-        for v in 1..10 {
-            assert_eq!(o.d_star(v), 1);
+        let hub_rank = o.map.to_rank(0);
+        assert_eq!(hub_rank, 9, "hub has the highest degree");
+        assert_eq!(o.d_star(hub_rank), 0);
+        for r in 0..9 {
+            assert_eq!(o.d_star(r), 1);
+            assert_eq!(o.out(r), &[hub_rank]);
         }
         assert_eq!(o.d_star_max, 1);
     }
@@ -403,11 +592,30 @@ mod tests {
             let expect = orient_csr(&g);
             assert_eq!(og.offsets, expect.offsets, "threads={threads}");
             assert_eq!(og.d_star_max, expect.d_star_max);
+            assert_eq!(og.map, expect.map);
             let (offsets, adj) = og.disk.load_parts(&stats).unwrap();
             assert_eq!(offsets, expect.offsets);
             assert_eq!(adj, expect.adj);
             assert!(report.cpu_ops > 0);
             assert_eq!(report.threads, threads);
+        }
+    }
+
+    #[test]
+    fn bounds_describe_out_lists() {
+        let g = rmat(7, 19).unwrap();
+        let stats = IoStats::new();
+        let dg = DiskGraph::write(&g, tmpbase("bnd-in"), &stats).unwrap();
+        let (og, _) = orient_to_disk(&dg, tmpbase("bnd-out"), 3, &stats).unwrap();
+        let expect = orient_csr(&g);
+        for r in 0..og.num_vertices() {
+            let out = expect.out(r);
+            if out.is_empty() {
+                assert_eq!(og.bounds[r as usize], EMPTY_BOUNDS);
+            } else {
+                assert_eq!(og.bounds[r as usize], (out[0], *out.last().unwrap()));
+                assert!(og.bounds[r as usize].0 > r, "bounds live above the rank");
+            }
         }
     }
 
@@ -418,8 +626,8 @@ mod tests {
         let dg = DiskGraph::write(&g, tmpbase("io-in"), &stats).unwrap();
         stats.reset();
         let (_og, report) = orient_to_disk(&dg, tmpbase("io-out"), 2, &stats).unwrap();
-        // Reads at least the degree file + full adjacency; writes at
-        // least the oriented pair (+ shards).
+        // Reads the degree file + two full adjacency scans; writes at
+        // least the oriented pair plus the map and bounds.
         assert!(report.io.bytes_read >= dg.size_bytes());
         assert!(report.io.bytes_written >= (g.num_edges() + g.num_vertices() as u64) * 4);
     }
@@ -434,8 +642,26 @@ mod tests {
         let reopened = OrientedGraph::open(&base, &stats).unwrap();
         assert_eq!(reopened.offsets, og.offsets);
         assert_eq!(reopened.d_star_max, og.d_star_max);
+        assert_eq!(reopened.map, og.map);
+        assert_eq!(reopened.bounds, og.bounds);
         assert!(reopened.orig_degrees.is_none());
         assert!(reopened.in_degrees().is_none());
+    }
+
+    #[test]
+    fn replicate_ships_map_and_bounds() {
+        let g = rmat(6, 9).unwrap();
+        let stats = IoStats::new();
+        let dg = DiskGraph::write(&g, tmpbase("rep-in"), &stats).unwrap();
+        let (og, _) = orient_to_disk(&dg, tmpbase("rep-out"), 2, &stats).unwrap();
+        let replica_base = tmpbase("rep-copy");
+        let bytes = og.replicate_to(&replica_base, &stats).unwrap();
+        let n = g.num_vertices() as u64;
+        assert_eq!(bytes, og.disk.size_bytes() + n * 4 + 2 * n * 4);
+        let replica = OrientedGraph::open(&replica_base, &stats).unwrap();
+        assert_eq!(replica.offsets, og.offsets);
+        assert_eq!(replica.map, og.map);
+        assert_eq!(replica.bounds, og.bounds);
     }
 
     #[test]
@@ -477,5 +703,6 @@ mod tests {
         let (og, _) = orient_to_disk(&dg, tmpbase("empty-out"), 2, &stats).unwrap();
         assert_eq!(og.m_star(), 0);
         assert_eq!(og.d_star_max, 0);
+        assert!(og.bounds.iter().all(|&b| b == EMPTY_BOUNDS));
     }
 }

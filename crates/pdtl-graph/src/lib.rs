@@ -10,6 +10,9 @@
 //!   `.deg` file of `u32` degrees and an `.adj` file of concatenated sorted
 //!   adjacency lists, "sorted by source and destination", compatible in
 //!   spirit with the original MGT binary's format.
+//! * [`RankMap`] — the degree-rank vertex relabeling orientation applies
+//!   so the oriented graph lives in rank space (every out-neighbour of
+//!   `v` is numerically greater than `v`), persisted as `base.map`.
 //! * [`gen`] — deterministic graph generators: the RMAT recursive model
 //!   used for the paper's synthetic graphs and Chung–Lu power-law
 //!   generators used as scaled stand-ins for the paper's real datasets
@@ -24,6 +27,7 @@ pub mod datasets;
 pub mod disk;
 pub mod error;
 pub mod gen;
+pub mod rank;
 pub mod stats;
 pub mod text;
 pub mod verify;
@@ -31,4 +35,5 @@ pub mod verify;
 pub use csr::Graph;
 pub use disk::DiskGraph;
 pub use error::{GraphError, Result};
+pub use rank::RankMap;
 pub use stats::GraphStats;

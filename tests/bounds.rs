@@ -108,10 +108,11 @@ fn cluster_network_within_theorem_iv3() {
             report.network.total()
         );
         // and the graph-replication term alone matches Θ((N-1)|E*|):
-        // the oriented graph is |E| adjacency entries + n degrees.
+        // the oriented graph is |E| adjacency entries + n degrees, plus
+        // the rank map (n) and scan-pruning bounds (2n) it ships with.
         assert_eq!(
             report.network.graph,
-            (nodes as u64 - 1) * (g.num_edges() + g.num_vertices() as u64) * 4
+            (nodes as u64 - 1) * (g.num_edges() + 4 * g.num_vertices() as u64) * 4
         );
     }
 }

@@ -64,10 +64,11 @@ proptest! {
             .map(|w| w.end - w.start)
             .sum();
         prop_assert_eq!(covered, g.num_edges());
-        // replication traffic is exactly (N-1) * oriented size
+        // replication traffic is exactly (N-1) * oriented size, where a
+        // replica is adjacency + degrees + rank map + scan bounds
         prop_assert_eq!(
             report.network.graph,
-            (nodes as u64 - 1) * (g.num_edges() + g.num_vertices() as u64) * 4
+            (nodes as u64 - 1) * (g.num_edges() + 4 * g.num_vertices() as u64) * 4
         );
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -129,8 +129,11 @@ proptest! {
                 .triangles
                 .iter()
                 .filter(|&&(_, v, w)| {
-                    let vi = o.offsets[v as usize];
-                    let idx = o.out(v).binary_search(&w).unwrap() as u64 + vi;
+                    // emitted triples are original ids; pivot positions
+                    // live in rank space
+                    let (rv, rw) = (o.map.to_rank(v), o.map.to_rank(w));
+                    let vi = o.offsets[rv as usize];
+                    let idx = o.out(rv).binary_search(&rw).unwrap() as u64 + vi;
                     idx >= range.start && idx < range.end
                 })
                 .count() as u64;

@@ -1,0 +1,99 @@
+//! Cross-engine contract of the rank-space pipeline: whatever the
+//! budget, core count or balance strategy, the full disk pipeline
+//! (orient → balance → per-core MGT → sink translation) must emit the
+//! *identical canonical triangle set* as the brute-force oracle — in
+//! original ids, with no duplicates, cone vertex first under the degree
+//! order. This is the end-to-end guarantee that rank-space relabeling
+//! plus sink-side id translation preserves the paper's output contract.
+
+use pdtl::core::{BalanceStrategy, DegreeOrder, LocalConfig, LocalRunner};
+use pdtl::graph::gen::chunglu::{chung_lu, power_law_weights};
+use pdtl::graph::gen::rmat::rmat;
+use pdtl::graph::gen::rng::SplitMix64;
+use pdtl::graph::verify::triangle_list;
+use pdtl::graph::{DiskGraph, Graph};
+use pdtl::io::{IoStats, MemoryBudget};
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir()
+        .join("pdtl-rank-pipeline")
+        .join(format!("{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn canonical(triples: &[(u32, u32, u32)]) -> Vec<(u32, u32, u32)> {
+    let mut canon: Vec<(u32, u32, u32)> = triples
+        .iter()
+        .map(|&(a, b, c)| {
+            let mut t = [a, b, c];
+            t.sort_unstable();
+            (t[0], t[1], t[2])
+        })
+        .collect();
+    canon.sort_unstable();
+    canon
+}
+
+fn assert_pipeline_matches_oracle(g: &Graph, tag: &str) {
+    let mut expected = triangle_list(g);
+    expected.sort_unstable();
+    let degrees = g.degrees();
+    let ord = DegreeOrder::new(&degrees);
+    let n = g.num_vertices();
+
+    let stats = IoStats::new();
+    let input = DiskGraph::write(g, tmpdir(tag).join("g"), &stats).unwrap();
+
+    for budget in [2usize, 32, 4096] {
+        for cores in [1usize, 3, 8] {
+            for strategy in [BalanceStrategy::EqualEdges, BalanceStrategy::InDegree] {
+                let runner = LocalRunner::new(LocalConfig {
+                    cores,
+                    budget: MemoryBudget::edges(budget),
+                    balance: strategy,
+                })
+                .unwrap();
+                let dir = tmpdir(&format!("{tag}-{budget}-{cores}-{strategy:?}"));
+                let (report, triples) = runner.run_listing(&input, &dir).unwrap();
+                let label = format!("{tag} budget={budget} cores={cores} {strategy:?}");
+
+                assert_eq!(report.triangles as usize, triples.len(), "{label}");
+                for &(u, v, w) in &triples {
+                    assert!(u < n && v < n && w < n, "{label}: original-id range");
+                    assert!(
+                        ord.precedes(u, v) && ord.precedes(v, w),
+                        "{label}: cone vertex first (u ≺ v ≺ w)"
+                    );
+                }
+                let canon = canonical(&triples);
+                assert!(
+                    canon.windows(2).all(|w| w[0] != w[1]),
+                    "{label}: no duplicates"
+                );
+                assert_eq!(canon, expected, "{label}: exact oracle set");
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+        }
+    }
+}
+
+#[test]
+fn rank_pipeline_matches_oracle_on_rmat() {
+    let g = rmat(7, 77).unwrap();
+    assert!(triangle_list(&g).len() > 10, "fixture must have triangles");
+    assert_pipeline_matches_oracle(&g, "rmat");
+}
+
+#[test]
+fn rank_pipeline_matches_oracle_on_chung_lu() {
+    let mut rng = SplitMix64::new(99);
+    let weights = power_law_weights(180, 2.2, 2.0, 40.0, &mut rng);
+    let g = chung_lu(&weights, 900, 100).unwrap();
+    assert!(
+        triangle_list(&g).len() > 10,
+        "fixture must have triangles, got {}",
+        triangle_list(&g).len()
+    );
+    assert_pipeline_matches_oracle(&g, "chunglu");
+}
