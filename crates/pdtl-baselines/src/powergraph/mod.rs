@@ -489,6 +489,7 @@ mod tests {
                 cores: 4,
                 budget: pdtl_io::MemoryBudget::bytes(budget_bytes / 4),
                 balance: Default::default(),
+                ..Default::default()
             },
         )
         .unwrap();

@@ -148,6 +148,7 @@ fn bench_scan_pruning(c: &mut Criterion) {
     for (name, prune) in [("pruned", true), ("full_scan", false)] {
         let opts = MgtOptions {
             scan_pruning: prune,
+            ..MgtOptions::default()
         };
         group.bench_function(format!("disk/{name}"), |b| {
             b.iter(|| {
@@ -174,11 +175,53 @@ fn bench_scan_pruning(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+fn bench_overlap_io(c: &mut Criterion) {
+    // Multi-pass regime again: with the budget far below |E*| the
+    // engine re-scans the graph once per chunk, which is exactly where
+    // overlapping chunk/scan I/O with intersection work pays.
+    let g = rmat(10, 13).unwrap();
+    let dir = std::env::temp_dir().join(format!("pdtl-ablate-overlap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let stats = IoStats::new();
+    let input = DiskGraph::write(&g, dir.join("g"), &stats).unwrap();
+    let (og, _) = orient_to_disk(&input, dir.join("oriented"), 2, &stats).unwrap();
+    let budget = MemoryBudget::edges(512);
+    let full = EdgeRange {
+        start: 0,
+        end: og.m_star(),
+    };
+
+    let mut group = c.benchmark_group("overlap_io");
+    for (name, overlap) in [("overlapped", true), ("blocking", false)] {
+        let opts = MgtOptions {
+            overlap_io: overlap,
+            ..MgtOptions::default()
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                mgt_count_range_opt(
+                    black_box(&og),
+                    full,
+                    budget,
+                    &mut CountSink,
+                    IoStats::new(),
+                    opts,
+                )
+                .unwrap()
+                .triangles
+            })
+        });
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 criterion_group!(
     benches,
     bench_arrays_vs_sets,
     bench_balance_struggler,
     bench_gallop_crossover,
-    bench_scan_pruning
+    bench_scan_pruning,
+    bench_overlap_io
 );
 criterion_main!(benches);

@@ -12,12 +12,13 @@ use std::hint::black_box;
 
 use pdtl_bench::kernelbench::workload;
 use pdtl_core::intersect::{intersect_gallop_visit, intersect_visit};
-use pdtl_core::mgt::mgt_in_memory;
-use pdtl_core::orient::orient_csr;
+use pdtl_core::mgt::{mgt_count_range_opt, mgt_in_memory, MgtOptions};
+use pdtl_core::orient::{orient_csr, orient_to_disk};
 use pdtl_core::sink::CountSink;
-use pdtl_core::{split_ranges, BalanceStrategy};
+use pdtl_core::{split_ranges, BalanceStrategy, EdgeRange};
 use pdtl_graph::gen::rmat::rmat;
-use pdtl_io::MemoryBudget;
+use pdtl_graph::DiskGraph;
+use pdtl_io::{IoStats, MemoryBudget, U32Writer};
 
 fn bench_intersection(c: &mut Criterion) {
     let mut group = c.benchmark_group("intersect");
@@ -85,12 +86,74 @@ fn bench_generators(c: &mut Criterion) {
     });
 }
 
+fn bench_mgt_disk_overlap(c: &mut Criterion) {
+    let g = rmat(workload::OVERLAP_RMAT.0, workload::OVERLAP_RMAT.1).unwrap();
+    let dir = std::env::temp_dir().join(format!("pdtl-kernels-overlap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let stats = IoStats::new();
+    let input = DiskGraph::write(&g, dir.join("g"), &stats).unwrap();
+    let (og, _) = orient_to_disk(&input, dir.join("oriented"), 2, &stats).unwrap();
+    let full = EdgeRange {
+        start: 0,
+        end: og.m_star(),
+    };
+    let budget = MemoryBudget::edges(workload::OVERLAP_BUDGET);
+    for (latency_us, tag) in [
+        (0, "mgt_disk"),
+        (workload::OVERLAP_SIM_LATENCY_US, "mgt_disk_simlat50us"),
+    ] {
+        let mut group = c.benchmark_group(tag);
+        for (mode, overlap) in [("overlap_on", true), ("overlap_off", false)] {
+            let opts = MgtOptions {
+                overlap_io: overlap,
+                io_latency: std::time::Duration::from_micros(latency_us),
+                ..MgtOptions::default()
+            };
+            group.bench_function(mode, |b| {
+                b.iter(|| {
+                    mgt_count_range_opt(
+                        black_box(&og),
+                        full,
+                        budget,
+                        &mut CountSink,
+                        IoStats::new(),
+                        opts,
+                    )
+                    .unwrap()
+                    .triangles
+                })
+            });
+        }
+        group.finish();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn bench_writer(c: &mut Criterion) {
+    let vals: Vec<u32> = (0..workload::WRITER_N as u32).collect();
+    let dir = std::env::temp_dir().join(format!("pdtl-kernels-writer-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("writer-throughput");
+    let mut group = c.benchmark_group("u32_writer");
+    group.bench_function("write_all_1m", |b| {
+        b.iter(|| {
+            let mut w = U32Writer::create(&path, IoStats::new()).unwrap();
+            w.write_all(black_box(&vals)).unwrap();
+            w.finish().unwrap()
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 criterion_group!(
     benches,
     bench_intersection,
     bench_mgt_chunks,
     bench_orientation,
     bench_balance,
-    bench_generators
+    bench_generators,
+    bench_mgt_disk_overlap,
+    bench_writer
 );
 criterion_main!(benches);

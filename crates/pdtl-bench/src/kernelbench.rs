@@ -18,12 +18,13 @@ use std::path::Path;
 use std::time::{Duration, Instant};
 
 use pdtl_core::intersect::{intersect_gallop_visit, intersect_visit};
-use pdtl_core::mgt::mgt_in_memory;
-use pdtl_core::orient::orient_csr;
+use pdtl_core::mgt::{mgt_count_range_opt, mgt_in_memory, MgtOptions};
+use pdtl_core::orient::{orient_csr, orient_to_disk};
 use pdtl_core::sink::CountSink;
-use pdtl_core::{split_ranges, BalanceStrategy};
+use pdtl_core::{split_ranges, BalanceStrategy, EdgeRange};
 use pdtl_graph::gen::rmat::rmat;
-use pdtl_io::MemoryBudget;
+use pdtl_graph::DiskGraph;
+use pdtl_io::{IoStats, MemoryBudget, U32Writer};
 
 /// The kernel workload, defined once so the criterion target
 /// (`benches/kernels.rs`) and this JSON runner measure the *same*
@@ -41,6 +42,16 @@ pub mod workload {
     pub const BALANCE_RMAT: (u32, u64) = (12, 3);
     /// `(scale, seed)` of the generator bench (`rmat_k8`).
     pub const GEN_RMAT: (u32, u64) = (8, 4);
+    /// `(scale, seed)` of the disk-MGT overlap ablation's graph.
+    pub const OVERLAP_RMAT: (u32, u64) = (10, 13);
+    /// Memory budget (edges) of the disk-MGT overlap ablation — far
+    /// below `|E*|`, the multi-pass regime where overlap matters.
+    pub const OVERLAP_BUDGET: usize = 512;
+    /// Emulated per-block device latency (µs) of the `simlat` overlap
+    /// rows; the zero-latency rows measure the warm page cache.
+    pub const OVERLAP_SIM_LATENCY_US: u64 = 50;
+    /// Values written by the `u32_writer/write_all_1m` throughput case.
+    pub const WRITER_N: usize = 1 << 20;
 
     /// A sorted id set of `n` values with the given stride/offset.
     pub fn sorted_set(n: usize, stride: u32, offset: u32) -> Vec<u32> {
@@ -152,6 +163,51 @@ pub fn run_kernel_benches() -> Vec<BenchResult> {
         rmat(workload::GEN_RMAT.0, workload::GEN_RMAT.1).unwrap()
     }));
 
+    // disk-MGT overlap ablation: warm page cache and emulated-latency
+    // device, overlapped vs blocking, multi-pass budget.
+    let dir = std::env::temp_dir().join(format!("pdtl-kernelbench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench scratch dir");
+    {
+        let g = rmat(workload::OVERLAP_RMAT.0, workload::OVERLAP_RMAT.1).expect("rmat");
+        let stats = IoStats::new();
+        let input = DiskGraph::write(&g, dir.join("g"), &stats).expect("write");
+        let (og, _) = orient_to_disk(&input, dir.join("oriented"), 2, &stats).expect("orient");
+        let full = EdgeRange {
+            start: 0,
+            end: og.m_star(),
+        };
+        let budget = MemoryBudget::edges(workload::OVERLAP_BUDGET);
+        for (latency_us, tag) in [
+            (0, "mgt_disk"),
+            (workload::OVERLAP_SIM_LATENCY_US, "mgt_disk_simlat50us"),
+        ] {
+            for (mode, overlap) in [("overlap_on", true), ("overlap_off", false)] {
+                let opts = MgtOptions {
+                    overlap_io: overlap,
+                    io_latency: Duration::from_micros(latency_us),
+                    ..MgtOptions::default()
+                };
+                out.push(time_one(&format!("{tag}/{mode}"), window, || {
+                    mgt_count_range_opt(&og, full, budget, &mut CountSink, IoStats::new(), opts)
+                        .expect("mgt run")
+                        .triangles
+                }));
+            }
+        }
+    }
+
+    // stream-writer throughput (the bulk `write_all` fast path)
+    {
+        let vals: Vec<u32> = (0..workload::WRITER_N as u32).collect();
+        let path = dir.join("writer-throughput");
+        out.push(time_one("u32_writer/write_all_1m", window, || {
+            let mut w = U32Writer::create(&path, IoStats::new()).expect("create");
+            w.write_all(&vals).expect("write");
+            w.finish().expect("finish")
+        }));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
     out
 }
 
@@ -212,11 +268,14 @@ mod tests {
     fn suite_runs_and_serialises() {
         std::env::set_var("PDTL_BENCH_MS", "1");
         let results = run_kernel_benches();
-        assert!(results.len() >= 12, "expected the full kernel set");
+        assert!(results.len() >= 17, "expected the full kernel set");
         assert!(results.iter().all(|r| r.mean_ns > 0.0 && r.iters > 0));
         let json = to_json(&results);
         assert!(json.starts_with('{') && json.ends_with("}\n"));
         assert!(json.contains("\"mgt_in_memory/budget_2048\""));
+        assert!(json.contains("\"mgt_disk/overlap_on\""));
+        assert!(json.contains("\"mgt_disk_simlat50us/overlap_off\""));
+        assert!(json.contains("\"u32_writer/write_all_1m\""));
         // one "name": value line per bench, no trailing comma
         assert_eq!(json.matches(':').count(), results.len());
         assert!(!json.contains(",\n}"));

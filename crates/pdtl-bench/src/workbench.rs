@@ -180,6 +180,7 @@ impl Workbench {
             cores,
             budget,
             balance,
+            ..Default::default()
         })
         .expect("local config");
         let report = runner.run(&input, &dir).expect("local run");
@@ -205,6 +206,7 @@ impl Workbench {
             listing: false,
             net: self.net,
             transport: pdtl_cluster::TransportKind::InProc,
+            ..Default::default()
         })
         .expect("cluster config");
         let report = runner.run(&input, &dir).expect("cluster run");

@@ -10,7 +10,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use crate::error::{ClusterError, Result};
 
 /// One logical processor's configuration `C_{i,j}` (Figure 1): its
-/// memory budget and pivot-edge range.
+/// memory budget, pivot-edge range and MGT engine flags.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WorkerConfig {
     /// Range start (oriented adjacency position).
@@ -19,6 +19,25 @@ pub struct WorkerConfig {
     pub end: u64,
     /// Memory budget in edges.
     pub budget_edges: u64,
+    /// Enable the rank-space scan pruning (bound skips + `vhigh` cap).
+    pub scan_pruning: bool,
+    /// Overlap chunk/scan I/O with intersection work.
+    pub overlap_io: bool,
+    /// Emulated per-block device latency in microseconds (0 = real
+    /// hardware) — see `MgtOptions::io_latency`.
+    pub io_latency_us: u32,
+}
+
+/// Wire flag bits of [`WorkerConfig`].
+const FLAG_SCAN_PRUNING: u8 = 1;
+const FLAG_OVERLAP_IO: u8 = 2;
+
+impl WorkerConfig {
+    /// Pack the engine flags into the wire byte.
+    fn flags(&self) -> u8 {
+        u8::from(self.scan_pruning) * FLAG_SCAN_PRUNING
+            + u8::from(self.overlap_io) * FLAG_OVERLAP_IO
+    }
 }
 
 /// One worker's result summary sent back to the master.
@@ -44,7 +63,9 @@ pub struct WorkerSummary {
     pub seeks: u64,
     /// Read + write operations.
     pub io_ops: u64,
-    /// Nanoseconds blocked in I/O.
+    /// Nanoseconds of I/O activity. With `overlap_io` this runs
+    /// concurrently with compute (device time, not stall time), so it
+    /// may approach or exceed `wall_nanos`.
     pub io_nanos: u64,
     /// Worker wall time in nanoseconds.
     pub wall_nanos: u64,
@@ -113,6 +134,8 @@ impl Message {
                     b.put_u64_le(w.start);
                     b.put_u64_le(w.end);
                     b.put_u64_le(w.budget_edges);
+                    b.put_u8(w.flags());
+                    b.put_u32_le(w.io_latency_us);
                 }
             }
             Message::Results { node, workers } => {
@@ -170,12 +193,20 @@ impl Message {
                 need(&buf, 5)?;
                 let listing = buf.get_u8() != 0;
                 let count = buf.get_u32_le() as usize;
-                need(&buf, count * 24)?;
+                need(&buf, count * 29)?;
                 let workers = (0..count)
-                    .map(|_| WorkerConfig {
-                        start: buf.get_u64_le(),
-                        end: buf.get_u64_le(),
-                        budget_edges: buf.get_u64_le(),
+                    .map(|_| {
+                        let (start, end, budget_edges) =
+                            (buf.get_u64_le(), buf.get_u64_le(), buf.get_u64_le());
+                        let flags = buf.get_u8();
+                        WorkerConfig {
+                            start,
+                            end,
+                            budget_edges,
+                            scan_pruning: flags & FLAG_SCAN_PRUNING != 0,
+                            overlap_io: flags & FLAG_OVERLAP_IO != 0,
+                            io_latency_us: buf.get_u32_le(),
+                        }
                     })
                     .collect();
                 Ok(Message::Config {
@@ -286,11 +317,17 @@ mod tests {
                     start: 0,
                     end: 100,
                     budget_edges: 50,
+                    scan_pruning: true,
+                    overlap_io: false,
+                    io_latency_us: 0,
                 },
                 WorkerConfig {
                     start: 100,
                     end: 220,
                     budget_edges: 50,
+                    scan_pruning: false,
+                    overlap_io: true,
+                    io_latency_us: 50,
                 },
             ],
             listing: true,
@@ -347,6 +384,9 @@ mod tests {
                 start: 0,
                 end: 1,
                 budget_edges: 1,
+                scan_pruning: true,
+                overlap_io: true,
+                io_latency_us: 0,
             }],
             listing: false,
         };

@@ -7,7 +7,7 @@
 //! in-process simulated node and a TCP-connected remote process.
 
 use pdtl_core::balance::EdgeRange;
-use pdtl_core::mgt::mgt_count_range;
+use pdtl_core::mgt::{mgt_count_range_opt, MgtOptions};
 use pdtl_core::orient::OrientedGraph;
 use pdtl_core::sink::{CollectSink, CountSink, TriangleSink};
 use pdtl_core::WorkerReport;
@@ -81,15 +81,20 @@ pub fn run_workers(
                     end: cfg.end,
                 };
                 let budget = MemoryBudget::edges(cfg.budget_edges as usize);
+                let opts = MgtOptions {
+                    scan_pruning: cfg.scan_pruning,
+                    overlap_io: cfg.overlap_io,
+                    io_latency: std::time::Duration::from_micros(cfg.io_latency_us as u64),
+                };
                 if listing {
                     let mut sink = CollectSink::default();
-                    let mut r = mgt_count_range(og_ref, range, budget, &mut sink, stats)?;
+                    let mut r = mgt_count_range_opt(og_ref, range, budget, &mut sink, stats, opts)?;
                     r.worker = i;
                     Ok((r, sink.triangles))
                 } else {
                     let mut sink = CountSink;
                     sink.flush().ok();
-                    let mut r = mgt_count_range(og_ref, range, budget, &mut sink, stats)?;
+                    let mut r = mgt_count_range_opt(og_ref, range, budget, &mut sink, stats, opts)?;
                     r.worker = i;
                     Ok((r, Vec::new()))
                 }
@@ -178,11 +183,17 @@ mod tests {
                         start: 0,
                         end: half,
                         budget_edges: 256,
+                        scan_pruning: true,
+                        overlap_io: true,
+                        io_latency_us: 0,
                     },
                     WorkerConfig {
                         start: half,
                         end: m_star,
                         budget_edges: 256,
+                        scan_pruning: true,
+                        overlap_io: true,
+                        io_latency_us: 0,
                     },
                 ],
                 listing: false,
@@ -217,6 +228,9 @@ mod tests {
                     start: 0,
                     end: m_star,
                     budget_edges: 128,
+                    scan_pruning: true,
+                    overlap_io: true,
+                    io_latency_us: 0,
                 }],
                 listing: true,
             })

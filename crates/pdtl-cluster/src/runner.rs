@@ -15,6 +15,7 @@ use std::path::Path;
 use std::time::{Duration, Instant};
 
 use pdtl_core::balance::{split_ranges, BalanceStrategy};
+use pdtl_core::mgt::MgtOptions;
 use pdtl_core::orient::orient_to_disk;
 use pdtl_graph::DiskGraph;
 use pdtl_io::{IoStats, MemoryBudget};
@@ -53,6 +54,9 @@ pub struct ClusterConfig {
     pub net: NetModel,
     /// Transport carrying the protocol messages.
     pub transport: TransportKind,
+    /// MGT engine knobs, shipped to every worker via its
+    /// [`WorkerConfig`].
+    pub mgt: MgtOptions,
 }
 
 impl Default for ClusterConfig {
@@ -65,6 +69,7 @@ impl Default for ClusterConfig {
             listing: false,
             net: NetModel::default(),
             transport: TransportKind::default(),
+            mgt: MgtOptions::default(),
         }
     }
 }
@@ -151,6 +156,9 @@ impl ClusterRunner {
                     start: r.start,
                     end: r.end,
                     budget_edges: cfg.budget.edges as u64,
+                    scan_pruning: cfg.mgt.scan_pruning,
+                    overlap_io: cfg.mgt.overlap_io,
+                    io_latency_us: cfg.mgt.io_latency.as_micros().min(u32::MAX as u128) as u32,
                 })
                 .collect();
             let started = Instant::now();
@@ -280,6 +288,7 @@ mod tests {
             listing: false,
             net: NetModel::default(),
             transport: TransportKind::default(),
+            mgt: Default::default(),
         }
     }
 

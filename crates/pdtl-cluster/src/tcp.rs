@@ -90,6 +90,9 @@ mod tests {
                     start: 0,
                     end: og.m_star(),
                     budget_edges: 512,
+                    scan_pruning: true,
+                    overlap_io: true,
+                    io_latency_us: 0,
                 }],
                 listing: false,
             })

@@ -142,6 +142,9 @@ mod tests {
                 start: 0,
                 end: 10,
                 budget_edges: 5,
+                scan_pruning: true,
+                overlap_io: true,
+                io_latency_us: 0,
             }],
             listing: false,
         }

@@ -17,7 +17,7 @@ use pdtl_io::{IoStats, MemoryBudget};
 use crate::balance::{split_ranges, BalanceStrategy};
 use crate::error::{CoreError, Result};
 use crate::metrics::RunReport;
-use crate::mgt::mgt_count_range;
+use crate::mgt::{mgt_count_range_opt, MgtOptions};
 use crate::orient::orient_to_disk;
 use crate::sink::{CollectSink, CountSink};
 
@@ -30,6 +30,9 @@ pub struct LocalConfig {
     pub budget: MemoryBudget,
     /// Range-splitting strategy.
     pub balance: BalanceStrategy,
+    /// MGT engine knobs (scan pruning, overlapped I/O); defaults to
+    /// everything on.
+    pub mgt: MgtOptions,
 }
 
 impl Default for LocalConfig {
@@ -38,6 +41,7 @@ impl Default for LocalConfig {
             cores: 4,
             budget: MemoryBudget::default(),
             balance: BalanceStrategy::InDegree,
+            mgt: MgtOptions::default(),
         }
     }
 }
@@ -119,6 +123,7 @@ impl LocalRunner {
 
         // Phase 3: one MGT worker per core.
         let budget = self.config.budget;
+        let mgt_opts = self.config.mgt;
         let og_ref = &og;
         let mut results: Vec<Option<Result<(crate::metrics::WorkerReport, S)>>> =
             (0..ranges.len()).map(|_| None).collect();
@@ -128,10 +133,12 @@ impl LocalRunner {
                 let mut sink = make_sink();
                 handles.push(scope.spawn(move || {
                     let stats = IoStats::new();
-                    mgt_count_range(og_ref, range, budget, &mut sink, stats).map(|mut r| {
-                        r.worker = i;
-                        (r, sink)
-                    })
+                    mgt_count_range_opt(og_ref, range, budget, &mut sink, stats, mgt_opts).map(
+                        |mut r| {
+                            r.worker = i;
+                            (r, sink)
+                        },
+                    )
                 }));
             }
             for (i, h) in handles.into_iter().enumerate() {
@@ -171,16 +178,27 @@ pub fn count_triangles(g: &Graph) -> Result<RunReport> {
     count_triangles_with(g, LocalConfig::default())
 }
 
+/// Removes its directory on drop, so every exit path — including the
+/// `?` returns between creation and success — cleans up the scratch
+/// space.
+struct TempDirGuard(PathBuf);
+
+impl Drop for TempDirGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
 /// [`count_triangles`] with an explicit configuration.
 pub fn count_triangles_with(g: &Graph, config: LocalConfig) -> Result<RunReport> {
     static UNIQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
     let id = UNIQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let dir: PathBuf = std::env::temp_dir().join(format!("pdtl-count-{}-{id}", std::process::id()));
     std::fs::create_dir_all(&dir).map_err(|e| pdtl_io::IoError::os("mkdir", &dir, e))?;
+    let _cleanup = TempDirGuard(dir.clone());
     let stats = IoStats::new();
     let input = DiskGraph::write(g, dir.join("input"), &stats)?;
     let report = LocalRunner::new(config)?.run(&input, &dir)?;
-    let _ = std::fs::remove_dir_all(&dir);
     Ok(report)
 }
 
@@ -210,6 +228,7 @@ mod tests {
                 cores,
                 budget: MemoryBudget::edges(2048),
                 balance: BalanceStrategy::InDegree,
+                ..Default::default()
             })
             .unwrap();
             let report = runner
@@ -231,6 +250,7 @@ mod tests {
                 cores: 4,
                 budget: MemoryBudget::edges(1024),
                 balance: strategy,
+                ..Default::default()
             })
             .unwrap();
             let report = runner
@@ -249,6 +269,7 @@ mod tests {
             cores: 3,
             budget: MemoryBudget::edges(16),
             balance: BalanceStrategy::InDegree,
+            ..Default::default()
         })
         .unwrap();
         let (report, triangles) = runner.run_listing(&input, &tmpdir("list-run")).unwrap();
@@ -277,6 +298,46 @@ mod tests {
     }
 
     #[test]
+    fn count_triangles_cleans_scratch_dir_on_error() {
+        // Regression: the scratch directory used to leak on every
+        // error path (cleanup only ran after a successful run).
+        let scratch_dirs = || -> std::collections::HashSet<String> {
+            std::fs::read_dir(std::env::temp_dir())
+                .unwrap()
+                .filter_map(|e| e.ok())
+                .map(|e| e.file_name().to_string_lossy().into_owned())
+                .filter(|n| n.starts_with(&format!("pdtl-count-{}-", std::process::id())))
+                .collect()
+        };
+        let before = scratch_dirs();
+        let g = complete(6).unwrap();
+        let err = count_triangles_with(
+            &g,
+            LocalConfig {
+                cores: 0, // rejected by LocalRunner::new, after the dir exists
+                ..Default::default()
+            },
+        );
+        assert!(err.is_err());
+        // Sibling tests in this binary create and remove their own
+        // pdtl-count-* dirs concurrently, so poll set-difference: a
+        // transient sibling dir disappears when its run finishes, a
+        // dir leaked by our failed run persists forever.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let leaked: Vec<String> = scratch_dirs().difference(&before).cloned().collect();
+            if leaked.is_empty() {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "failed runs must remove their scratch directory; leaked: {leaked:?}"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+    }
+
+    #[test]
     fn count_triangles_convenience() {
         let g = complete(12).unwrap();
         let report = count_triangles(&g).unwrap();
@@ -293,6 +354,7 @@ mod tests {
                 cores: 5,
                 budget: MemoryBudget::edges(256),
                 balance: BalanceStrategy::InDegree,
+                ..Default::default()
             },
         )
         .unwrap();

@@ -39,9 +39,15 @@ impl MemoryBudget {
         Self::edges((bytes / crate::stream::BYTES_PER_U32) as usize)
     }
 
-    /// Override the load factor (clamped to `(0, 1]`).
+    /// Override the load factor (clamped to `(0, 1]`; `NaN` falls back
+    /// to [`DEFAULT_LOAD_FACTOR`] — `clamp` propagates NaN, which would
+    /// otherwise silently collapse every chunk to a single edge).
     pub fn with_load_factor(mut self, f: f64) -> Self {
-        self.load_factor = f.clamp(f64::MIN_POSITIVE, 1.0);
+        self.load_factor = if f.is_nan() {
+            DEFAULT_LOAD_FACTOR
+        } else {
+            f.clamp(f64::MIN_POSITIVE, 1.0)
+        };
         self
     }
 
@@ -144,5 +150,14 @@ mod tests {
         assert_eq!(b.chunk_edges(), 100);
         let b = MemoryBudget::edges(100).with_load_factor(-1.0);
         assert_eq!(b.chunk_edges(), 1);
+    }
+
+    #[test]
+    fn nan_load_factor_falls_back_to_default() {
+        // Regression: NaN passed f64::clamp unchanged and silently
+        // yielded 1-edge chunks.
+        let b = MemoryBudget::edges(1000).with_load_factor(f64::NAN);
+        assert_eq!(b.load_factor, DEFAULT_LOAD_FACTOR);
+        assert_eq!(b.chunk_edges(), 500);
     }
 }

@@ -13,6 +13,10 @@
 //!   I/O breakdowns of the paper's Figures 6–8 and Table IV.
 //! * [`U32Reader`] / [`U32Writer`] — buffered little-endian `u32` streams
 //!   over files, the unit of every PDTL graph file (`.deg` / `.adj`).
+//! * [`PrefetchReader`] / [`ChunkPrefetcher`] — overlapped (read-ahead)
+//!   variants that hide disk latency behind compute while counting the
+//!   exact same bytes and seeks, so `overlap_io` ablations compare pure
+//!   scheduling, not different I/O plans.
 //! * [`external_sort_u64`] — a counted external merge sort used to bring
 //!   raw edge lists into the sorted PDTL format.
 //! * [`MemoryBudget`] — the per-processor memory parameter `M` (in edges)
@@ -25,6 +29,7 @@ pub mod budget;
 pub mod cost;
 pub mod error;
 pub mod extsort;
+pub mod prefetch;
 pub mod stats;
 pub mod stream;
 pub mod timer;
@@ -33,6 +38,7 @@ pub use budget::MemoryBudget;
 pub use cost::{CostModel, ModeledTime};
 pub use error::{IoError, Result};
 pub use extsort::{external_sort_u64, merge_sorted_files};
+pub use prefetch::{ChunkPrefetcher, PrefetchReader};
 pub use stats::IoStats;
-pub use stream::{U32Reader, U32Writer, BYTES_PER_U32};
+pub use stream::{U32Reader, U32Source, U32Writer, BYTES_PER_U32};
 pub use timer::{CpuIoTimer, TimeBreakdown};

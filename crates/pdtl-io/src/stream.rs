@@ -8,6 +8,14 @@
 //!   [`IoStats`] reflects real access patterns;
 //! * byte/op/time counting on every refill and flush;
 //! * positioned reads (`seek_to`), counted as seeks.
+//!
+//! Positioning guarantees: `seek_to` and `skip` clamp to end-of-file (a
+//! reader's position never exceeds [`U32Reader::len_u32`], so
+//! `read_all` can never underflow its remaining count), and `skip`
+//! coalesces short forward skips into buffered read-through — only a
+//! skip landing beyond one buffer refill pays an OS seek. Bound-pruned
+//! scans that skip many consecutive short out-lists therefore stay
+//! sequential on disk instead of degenerating into a seek storm.
 
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -39,6 +47,9 @@ pub struct U32Reader {
     len_u32: u64,
     /// Index of the next `u32` to be returned.
     next_index: u64,
+    /// Emulated device latency added to every refill (see
+    /// [`set_read_latency`](Self::set_read_latency)).
+    read_latency: std::time::Duration,
 }
 
 impl U32Reader {
@@ -71,12 +82,55 @@ impl U32Reader {
             filled: 0,
             pos: 0,
             next_index: 0,
+            read_latency: std::time::Duration::ZERO,
         })
+    }
+
+    /// Emulate a storage device with the given per-block-read latency:
+    /// every refill sleeps `latency` before issuing the OS read, and the
+    /// sleep is charged to [`IoStats`] I/O time like any other blocking
+    /// read. Zero (the default) measures the real hardware.
+    ///
+    /// This is the I/O analogue of the cluster's `NetModel`: page-cached
+    /// files never block, so ablations that compare blocking against
+    /// overlapped I/O on warm fixtures need a deterministic way to
+    /// recreate the device waits the paper's multi-pass bound is about.
+    pub fn set_read_latency(&mut self, latency: std::time::Duration) {
+        self.read_latency = latency;
     }
 
     /// Total number of `u32`s in the file.
     pub fn len_u32(&self) -> u64 {
         self.len_u32
+    }
+
+    /// The file this reader streams from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Buffer capacity in `u32`s (the block size of every refill).
+    pub fn buf_u32s(&self) -> usize {
+        self.buf.len() / BYTES_PER_U32 as usize
+    }
+
+    /// Decompose into the raw parts a background prefetcher needs:
+    /// `(file, path, stats, buf_u32s, len_u32, read_latency)`. Any
+    /// buffered-but-unread data is discarded; the consumer restarts
+    /// from an explicit offset.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn into_parts(
+        self,
+    ) -> (File, PathBuf, Arc<IoStats>, usize, u64, std::time::Duration) {
+        let buf_u32s = self.buf_u32s();
+        (
+            self.file,
+            self.path,
+            self.stats,
+            buf_u32s,
+            self.len_u32,
+            self.read_latency,
+        )
     }
 
     /// Index of the next value [`next`](Self::next) would return.
@@ -85,7 +139,10 @@ impl U32Reader {
     }
 
     /// Reposition the stream to the `index`-th `u32`. Counted as a seek.
+    /// Positions past end-of-file clamp to the end (subsequent reads
+    /// report EOF) — they never produce an out-of-range `position`.
     pub fn seek_to(&mut self, index: u64) -> Result<()> {
+        let index = index.min(self.len_u32);
         self.file
             .seek(SeekFrom::Start(index * BYTES_PER_U32))
             .map_err(|e| IoError::os("seek", &self.path, e))?;
@@ -98,6 +155,9 @@ impl U32Reader {
 
     fn refill(&mut self) -> Result<usize> {
         let start = Instant::now();
+        if !self.read_latency.is_zero() {
+            std::thread::sleep(self.read_latency);
+        }
         let n = self
             .file
             .read(&mut self.buf)
@@ -152,23 +212,110 @@ impl U32Reader {
 
     /// Read the whole remaining file into a vector.
     pub fn read_all(&mut self) -> Result<Vec<u32>> {
-        let remaining = (self.len_u32 - self.next_index) as usize;
+        // Saturate: position is clamped to len_u32, but stay safe even
+        // if a future caller violates that.
+        let remaining = self.len_u32.saturating_sub(self.next_index) as usize;
         let mut out = Vec::with_capacity(remaining);
         self.read_into(&mut out, remaining)?;
         Ok(out)
     }
 
-    /// Skip `n` values without decoding them (buffered skip; long skips
-    /// fall back to a seek).
+    /// Seek to `pos` and read exactly `len` values into `out` (cleared
+    /// first); errors if the range reaches past end of file. The one
+    /// chunk-load primitive shared by the blocking and prefetching MGT
+    /// chunk sources, so their failure behaviour cannot drift.
+    pub fn read_exact_range(&mut self, pos: u64, len: usize, out: &mut Vec<u32>) -> Result<()> {
+        out.clear();
+        self.seek_to(pos)?;
+        let got = self.read_into(out, len)?;
+        if got != len {
+            return Err(IoError::malformed(
+                &self.path,
+                format!("chunk [{pos}, {pos}+{len}) reaches past end of file"),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Skip `n` values without decoding them (clamped at end-of-file).
+    ///
+    /// A skip that stays within the buffered data just advances the
+    /// cursor. A skip reaching at most one refill beyond it is
+    /// *read through* — the buffer is refilled sequentially and the
+    /// skipped values discarded — so consecutive short skips (a
+    /// bound-pruned scan) never leave the sequential read path. Only a
+    /// skip landing beyond the next refill pays an OS seek.
     pub fn skip(&mut self, n: u64) -> Result<()> {
+        let n = n.min(self.len_u32.saturating_sub(self.next_index));
         let buffered = ((self.filled - self.pos) / 4) as u64;
         if n <= buffered {
             self.pos += (n * 4) as usize;
             self.next_index += n;
+            return Ok(());
+        }
+        let beyond = n - buffered;
+        if beyond <= (self.buf.len() / 4) as u64 {
+            self.pos = self.filled;
+            self.next_index += buffered;
+            let mut left = beyond;
+            while left > 0 {
+                if self.refill()? == 0 {
+                    break;
+                }
+                let take = ((self.filled / 4) as u64).min(left);
+                self.pos = (take * 4) as usize;
+                self.next_index += take;
+                left -= take;
+            }
             Ok(())
         } else {
             self.seek_to(self.next_index + n)
         }
+    }
+}
+
+/// The positioned-read interface shared by [`U32Reader`] and the
+/// overlapped [`PrefetchReader`](crate::prefetch::PrefetchReader), so
+/// stream consumers (the MGT scan pass) can swap blocking for
+/// prefetching I/O without changing their logic. Both implementations
+/// follow the same positioning contract: positions clamp at
+/// end-of-file, short skips read through, long skips count as seeks.
+pub trait U32Source {
+    /// Total number of `u32`s in the file.
+    fn len_u32(&self) -> u64;
+
+    /// Index of the next value a read would return.
+    fn position(&self) -> u64;
+
+    /// Reposition to the `index`-th `u32` (clamped; counted as a seek).
+    fn seek_to(&mut self, index: u64) -> Result<()>;
+
+    /// Append up to `n` values onto `out`, returning how many were read.
+    fn read_into(&mut self, out: &mut Vec<u32>, n: usize) -> Result<usize>;
+
+    /// Skip `n` values (clamped; short skips coalesce to read-through).
+    fn skip(&mut self, n: u64) -> Result<()>;
+}
+
+impl U32Source for U32Reader {
+    fn len_u32(&self) -> u64 {
+        U32Reader::len_u32(self)
+    }
+
+    fn position(&self) -> u64 {
+        U32Reader::position(self)
+    }
+
+    fn seek_to(&mut self, index: u64) -> Result<()> {
+        U32Reader::seek_to(self, index)
+    }
+
+    fn read_into(&mut self, out: &mut Vec<u32>, n: usize) -> Result<usize> {
+        U32Reader::read_into(self, out, n)
+    }
+
+    fn skip(&mut self, n: u64) -> Result<()> {
+        U32Reader::skip(self, n)
     }
 }
 
@@ -179,6 +326,9 @@ pub struct U32Writer {
     path: PathBuf,
     stats: Arc<IoStats>,
     buf: Vec<u8>,
+    /// Flush threshold in bytes (explicit: `Vec::with_capacity` may
+    /// round up, and the flush condition must not depend on that).
+    cap: usize,
     written_u32: u64,
 }
 
@@ -196,11 +346,13 @@ impl U32Writer {
     ) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
         let file = File::create(&path).map_err(|e| IoError::os("create", &path, e))?;
+        let cap = buf_u32s.max(1) * BYTES_PER_U32 as usize;
         Ok(Self {
             file,
             path,
             stats,
-            buf: Vec::with_capacity(buf_u32s.max(1) * BYTES_PER_U32 as usize),
+            buf: Vec::with_capacity(cap),
+            cap,
             written_u32: 0,
         })
     }
@@ -214,16 +366,30 @@ impl U32Writer {
     pub fn write(&mut self, v: u32) -> Result<()> {
         self.buf.extend_from_slice(&v.to_le_bytes());
         self.written_u32 += 1;
-        if self.buf.len() == self.buf.capacity() {
+        if self.buf.len() >= self.cap {
             self.flush_buf()?;
         }
         Ok(())
     }
 
-    /// Append a slice of values.
+    /// Append a slice of values, encoding buffer-sized runs at a time
+    /// (one capacity check per run, not one per value).
     pub fn write_all(&mut self, vs: &[u32]) -> Result<()> {
-        for &v in vs {
-            self.write(v)?;
+        let mut rest = vs;
+        while !rest.is_empty() {
+            if self.buf.len() >= self.cap {
+                self.flush_buf()?;
+            }
+            let room = ((self.cap - self.buf.len()) / BYTES_PER_U32 as usize).max(1);
+            let (now, later) = rest.split_at(room.min(rest.len()));
+            for &v in now {
+                self.buf.extend_from_slice(&v.to_le_bytes());
+            }
+            self.written_u32 += now.len() as u64;
+            rest = later;
+        }
+        if self.buf.len() >= self.cap {
+            self.flush_buf()?;
         }
         Ok(())
     }
@@ -334,6 +500,100 @@ mod tests {
         r.skip(40).unwrap();
         assert_eq!(r.next().unwrap(), Some(194));
         assert_eq!(stats.seeks(), 2);
+    }
+
+    #[test]
+    fn seek_past_eof_clamps_and_read_all_saturates() {
+        // Regression: seek_to/skip used to accept positions past EOF,
+        // and read_all then computed `len_u32 - next_index` on
+        // `next_index > len_u32` (u64 underflow).
+        let p = tmp("eof-clamp");
+        let stats = IoStats::new();
+        let mut w = U32Writer::create(&p, stats.clone()).unwrap();
+        w.write_all(&[7, 8, 9]).unwrap();
+        w.finish().unwrap();
+
+        let mut r = U32Reader::open(&p, stats.clone()).unwrap();
+        r.seek_to(1_000_000).unwrap();
+        assert_eq!(r.position(), 3, "clamped to len_u32");
+        assert_eq!(r.read_all().unwrap(), Vec::<u32>::new());
+        assert_eq!(r.next().unwrap(), None);
+
+        let mut r = U32Reader::open(&p, stats).unwrap();
+        r.skip(u64::MAX).unwrap();
+        assert_eq!(r.position(), 3, "skip clamps too");
+        assert_eq!(r.read_all().unwrap(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn consecutive_short_skips_coalesce_into_read_through() {
+        // Regression for the seek storm: a bound-pruned scan skipping
+        // many short out-lists must stay on the sequential read path.
+        let p = tmp("skip-coalesce");
+        let stats = IoStats::new();
+        let vals: Vec<u32> = (0..4096).collect();
+        let mut w = U32Writer::create(&p, stats.clone()).unwrap();
+        w.write_all(&vals).unwrap();
+        w.finish().unwrap();
+
+        // 16-u32 buffer; skip 10, read 2, repeatedly: every skip lands
+        // at most one refill beyond the buffer, so zero OS seeks.
+        let mut r = U32Reader::with_buffer(&p, stats.clone(), 16).unwrap();
+        let mut out = Vec::new();
+        let mut expect_at = 0u64;
+        while r.position() + 12 < r.len_u32() {
+            r.skip(10).unwrap();
+            expect_at += 10;
+            out.clear();
+            assert_eq!(r.read_into(&mut out, 2).unwrap(), 2);
+            assert_eq!(out, vec![expect_at as u32, expect_at as u32 + 1]);
+            expect_at += 2;
+        }
+        assert_eq!(stats.seeks(), 0, "short skips must not seek");
+
+        // A skip landing beyond one refill still falls back to a seek.
+        let mut r = U32Reader::with_buffer(&p, stats.clone(), 16).unwrap();
+        r.skip(100).unwrap();
+        assert_eq!(stats.seeks(), 1);
+        assert_eq!(r.next().unwrap(), Some(100));
+    }
+
+    #[test]
+    fn bulk_write_all_matches_per_value_writes() {
+        let stats = IoStats::new();
+        let vals: Vec<u32> = (0..1000).map(|i| i * 3 + 1).collect();
+
+        let p_bulk = tmp("bulk");
+        let mut w = U32Writer::with_buffer(&p_bulk, stats.clone(), 37).unwrap();
+        w.write_all(&vals).unwrap();
+        assert_eq!(w.written_u32(), 1000);
+        w.finish().unwrap();
+
+        let p_one = tmp("one-by-one");
+        let mut w = U32Writer::with_buffer(&p_one, stats.clone(), 37).unwrap();
+        for &v in &vals {
+            w.write(v).unwrap();
+        }
+        w.finish().unwrap();
+
+        assert_eq!(
+            std::fs::read(&p_bulk).unwrap(),
+            std::fs::read(&p_one).unwrap(),
+            "bulk and per-value writes must produce identical files"
+        );
+        let mut r = U32Reader::open(&p_bulk, stats).unwrap();
+        assert_eq!(r.read_all().unwrap(), vals);
+    }
+
+    #[test]
+    fn write_all_flushes_in_buffer_sized_ops() {
+        let p = tmp("bulk-ops");
+        let stats = IoStats::new();
+        let mut w = U32Writer::with_buffer(&p, stats.clone(), 8).unwrap();
+        w.write_all(&(0..64u32).collect::<Vec<_>>()).unwrap();
+        w.finish().unwrap();
+        assert_eq!(stats.bytes_written(), 256);
+        assert_eq!(stats.write_ops(), 8, "one op per full 8-u32 buffer");
     }
 
     #[test]

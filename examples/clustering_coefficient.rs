@@ -29,6 +29,7 @@ fn main() {
         cores: 4,
         budget: MemoryBudget::edges(16 << 10),
         balance: BalanceStrategy::InDegree,
+        ..Default::default()
     })
     .expect("config");
     let (report, triangles) = runner.run_listing(&input, &dir).expect("run");

@@ -28,6 +28,7 @@ fn main() {
         listing: false,
         net: NetModel::default(),
         transport: Default::default(),
+        mgt: Default::default(),
     })
     .expect("config");
     let report = runner.run(&input, &dir).expect("run");

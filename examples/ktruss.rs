@@ -37,6 +37,7 @@ fn main() {
         cores: 2,
         budget: MemoryBudget::edges(4 << 10),
         balance: BalanceStrategy::InDegree,
+        ..Default::default()
     })
     .expect("config");
     let (_, triangles) = runner.run_listing(&input, &dir).expect("run");

@@ -36,6 +36,7 @@ fn main() {
         cores: 4,
         budget: MemoryBudget::edges(8 << 10),
         balance: BalanceStrategy::InDegree,
+        ..Default::default()
     })
     .expect("config");
     let report = runner.run(&input, &dir).expect("run");

@@ -276,6 +276,7 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String> {
                 } else {
                     BalanceStrategy::InDegree
                 },
+                ..Default::default()
             })
             .map_err(|e| fail(&e))?;
             let dir = work_dir(&base, "count");
@@ -335,6 +336,7 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String> {
                 cores,
                 budget: MemoryBudget::default(),
                 balance: BalanceStrategy::InDegree,
+                ..Default::default()
             })
             .map_err(|e| fail(&e))?;
             let dir = work_dir(&base, "list");

@@ -26,6 +26,7 @@ fn mgt_io_within_theorem_iv2() {
                 cores: 1,
                 budget: MemoryBudget::edges(mem),
                 balance: BalanceStrategy::InDegree,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -51,6 +52,7 @@ fn mgt_cpu_within_theorem_iv2() {
                 cores: 1,
                 budget: MemoryBudget::edges(mem),
                 balance: BalanceStrategy::InDegree,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -74,6 +76,7 @@ fn iterations_match_formula() {
             cores: 3,
             budget: MemoryBudget::edges(mem),
             balance: BalanceStrategy::EqualEdges,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -127,6 +130,7 @@ fn memory_budget_does_not_change_the_answer_only_the_io() {
             cores: 2,
             budget: MemoryBudget::edges(1 << 20),
             balance: BalanceStrategy::InDegree,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -136,6 +140,7 @@ fn memory_budget_does_not_change_the_answer_only_the_io() {
             cores: 2,
             budget: MemoryBudget::edges(256),
             balance: BalanceStrategy::InDegree,
+            ..Default::default()
         },
     )
     .unwrap();

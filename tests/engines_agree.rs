@@ -28,6 +28,7 @@ fn every_engine_count(g: &Graph, tag: &str) -> Vec<(&'static str, u64)> {
                 cores,
                 budget: MemoryBudget::edges(budget),
                 balance: BalanceStrategy::InDegree,
+                ..Default::default()
             },
         )
         .unwrap();

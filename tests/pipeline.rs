@@ -61,6 +61,7 @@ fn raw_edge_list_to_triangle_count() {
         cores: 3,
         budget: MemoryBudget::edges(512),
         balance: BalanceStrategy::InDegree,
+        ..Default::default()
     })
     .unwrap();
     let report = runner.run(&imported, &dir).unwrap();

@@ -1,12 +1,18 @@
 //! Cross-engine contract of the rank-space pipeline: whatever the
-//! budget, core count or balance strategy, the full disk pipeline
-//! (orient → balance → per-core MGT → sink translation) must emit the
-//! *identical canonical triangle set* as the brute-force oracle — in
-//! original ids, with no duplicates, cone vertex first under the degree
-//! order. This is the end-to-end guarantee that rank-space relabeling
-//! plus sink-side id translation preserves the paper's output contract.
+//! budget, core count, balance strategy or I/O mode, the full disk
+//! pipeline (orient → balance → per-core MGT → sink translation) must
+//! emit the *identical canonical triangle set* as the brute-force
+//! oracle — in original ids, with no duplicates, cone vertex first
+//! under the degree order. This is the end-to-end guarantee that
+//! rank-space relabeling plus sink-side id translation preserves the
+//! paper's output contract.
+//!
+//! The `overlap_io` dimension additionally pins down the overlap
+//! contract: an overlapped run must report the *same* triangle count
+//! and the *same* per-worker `bytes_read` total as its blocking twin —
+//! overlapping is a scheduling change, not a different I/O plan.
 
-use pdtl::core::{BalanceStrategy, DegreeOrder, LocalConfig, LocalRunner};
+use pdtl::core::{BalanceStrategy, DegreeOrder, LocalConfig, LocalRunner, MgtOptions};
 use pdtl::graph::gen::chunglu::{chung_lu, power_law_weights};
 use pdtl::graph::gen::rmat::rmat;
 use pdtl::graph::gen::rng::SplitMix64;
@@ -48,31 +54,55 @@ fn assert_pipeline_matches_oracle(g: &Graph, tag: &str) {
     for budget in [2usize, 32, 4096] {
         for cores in [1usize, 3, 8] {
             for strategy in [BalanceStrategy::EqualEdges, BalanceStrategy::InDegree] {
-                let runner = LocalRunner::new(LocalConfig {
-                    cores,
-                    budget: MemoryBudget::edges(budget),
-                    balance: strategy,
-                })
-                .unwrap();
-                let dir = tmpdir(&format!("{tag}-{budget}-{cores}-{strategy:?}"));
-                let (report, triples) = runner.run_listing(&input, &dir).unwrap();
-                let label = format!("{tag} budget={budget} cores={cores} {strategy:?}");
-
-                assert_eq!(report.triangles as usize, triples.len(), "{label}");
-                for &(u, v, w) in &triples {
-                    assert!(u < n && v < n && w < n, "{label}: original-id range");
-                    assert!(
-                        ord.precedes(u, v) && ord.precedes(v, w),
-                        "{label}: cone vertex first (u ≺ v ≺ w)"
+                // Overlapped first, then its blocking twin: both must
+                // match the oracle *and* each other's I/O accounting.
+                let mut twin: Option<(u64, u64)> = None;
+                for overlap in [true, false] {
+                    let runner = LocalRunner::new(LocalConfig {
+                        cores,
+                        budget: MemoryBudget::edges(budget),
+                        balance: strategy,
+                        mgt: MgtOptions {
+                            overlap_io: overlap,
+                            ..MgtOptions::default()
+                        },
+                    })
+                    .unwrap();
+                    let dir = tmpdir(&format!("{tag}-{budget}-{cores}-{strategy:?}-{overlap}"));
+                    let (report, triples) = runner.run_listing(&input, &dir).unwrap();
+                    let label = format!(
+                        "{tag} budget={budget} cores={cores} {strategy:?} overlap={overlap}"
                     );
+
+                    assert_eq!(report.triangles as usize, triples.len(), "{label}");
+                    for &(u, v, w) in &triples {
+                        assert!(u < n && v < n && w < n, "{label}: original-id range");
+                        assert!(
+                            ord.precedes(u, v) && ord.precedes(v, w),
+                            "{label}: cone vertex first (u ≺ v ≺ w)"
+                        );
+                    }
+                    let canon = canonical(&triples);
+                    assert!(
+                        canon.windows(2).all(|w| w[0] != w[1]),
+                        "{label}: no duplicates"
+                    );
+                    assert_eq!(canon, expected, "{label}: exact oracle set");
+
+                    let bytes_read: u64 = report.workers.iter().map(|w| w.io.bytes_read).sum();
+                    match twin {
+                        None => twin = Some((report.triangles, bytes_read)),
+                        Some((t, b)) => {
+                            assert_eq!(report.triangles, t, "{label}: twin triangle count");
+                            assert_eq!(
+                                bytes_read, b,
+                                "{label}: overlapped and blocking twins must read \
+                                 identical bytes"
+                            );
+                        }
+                    }
+                    let _ = std::fs::remove_dir_all(&dir);
                 }
-                let canon = canonical(&triples);
-                assert!(
-                    canon.windows(2).all(|w| w[0] != w[1]),
-                    "{label}: no duplicates"
-                );
-                assert_eq!(canon, expected, "{label}: exact oracle set");
-                let _ = std::fs::remove_dir_all(&dir);
             }
         }
     }
