@@ -125,6 +125,24 @@ fn bench_gallop_crossover(c: &mut Criterion) {
             b.iter(|| intersect_gallop_visit(black_box(small), black_box(&large), |_| {}))
         });
     }
+    // The three kernel-bench shapes, so `GALLOP_RATIO` (and the
+    // linear merge's own interleaved/advance dispatch) is justified by
+    // data on the exact inputs the perf snapshot tracks: ratios 1, 100
+    // and 10⁴.
+    for &(a_len, b_len) in &pdtl_bench::kernelbench::workload::INTERSECT_PAIRS {
+        let (a, b) = pdtl_bench::kernelbench::workload::intersect_inputs(a_len, b_len);
+        let shape = format!("shape_{a_len}x{b_len}");
+        group.bench_with_input(
+            BenchmarkId::new("linear", &shape),
+            &(&a, &b),
+            |be, (a, b)| be.iter(|| intersect_visit(black_box(a), black_box(b), |_| {})),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("gallop", &shape),
+            &(&a, &b),
+            |be, (a, b)| be.iter(|| intersect_gallop_visit(black_box(a), black_box(b), |_| {})),
+        );
+    }
     group.finish();
 }
 
@@ -175,12 +193,13 @@ fn bench_scan_pruning(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-fn bench_overlap_io(c: &mut Criterion) {
+fn bench_io_backend(c: &mut Criterion) {
     // Multi-pass regime again: with the budget far below |E*| the
     // engine re-scans the graph once per chunk, which is exactly where
-    // overlapping chunk/scan I/O with intersection work pays.
+    // the I/O backend choice matters — prefetch hides device waits,
+    // mmap removes the read(2) copies entirely on a warm page cache.
     let g = rmat(10, 13).unwrap();
-    let dir = std::env::temp_dir().join(format!("pdtl-ablate-overlap-{}", std::process::id()));
+    let dir = std::env::temp_dir().join(format!("pdtl-ablate-backend-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let stats = IoStats::new();
     let input = DiskGraph::write(&g, dir.join("g"), &stats).unwrap();
@@ -191,13 +210,13 @@ fn bench_overlap_io(c: &mut Criterion) {
         end: og.m_star(),
     };
 
-    let mut group = c.benchmark_group("overlap_io");
-    for (name, overlap) in [("overlapped", true), ("blocking", false)] {
+    let mut group = c.benchmark_group("io_backend");
+    for backend in pdtl_io::IoBackend::ALL {
         let opts = MgtOptions {
-            overlap_io: overlap,
+            backend,
             ..MgtOptions::default()
         };
-        group.bench_function(name, |b| {
+        group.bench_function(backend.name(), |b| {
             b.iter(|| {
                 mgt_count_range_opt(
                     black_box(&og),
@@ -222,6 +241,6 @@ criterion_group!(
     bench_balance_struggler,
     bench_gallop_crossover,
     bench_scan_pruning,
-    bench_overlap_io
+    bench_io_backend
 );
 criterion_main!(benches);

@@ -13,12 +13,12 @@ use std::hint::black_box;
 use pdtl_bench::kernelbench::workload;
 use pdtl_core::intersect::{intersect_gallop_visit, intersect_visit};
 use pdtl_core::mgt::{mgt_count_range_opt, mgt_in_memory, MgtOptions};
-use pdtl_core::orient::{orient_csr, orient_to_disk};
+use pdtl_core::orient::{orient_csr, orient_csr_threads, orient_to_disk};
 use pdtl_core::sink::CountSink;
 use pdtl_core::{split_ranges, BalanceStrategy, EdgeRange};
 use pdtl_graph::gen::rmat::rmat;
 use pdtl_graph::DiskGraph;
-use pdtl_io::{IoStats, MemoryBudget, U32Writer};
+use pdtl_io::{IoBackend, IoStats, MemoryBudget, U32Writer};
 
 fn bench_intersection(c: &mut Criterion) {
     let mut group = c.benchmark_group("intersect");
@@ -65,6 +65,11 @@ fn bench_orientation(c: &mut Criterion) {
     c.bench_function("orient_csr_rmat10", |b| {
         b.iter(|| orient_csr(black_box(&g)))
     });
+    for &cores in &workload::ORIENT_CORES {
+        c.bench_function(&format!("orient_csr_rmat10/cores_{cores}"), |b| {
+            b.iter(|| orient_csr_threads(black_box(&g), cores))
+        });
+    }
 }
 
 fn bench_balance(c: &mut Criterion) {
@@ -86,9 +91,9 @@ fn bench_generators(c: &mut Criterion) {
     });
 }
 
-fn bench_mgt_disk_overlap(c: &mut Criterion) {
-    let g = rmat(workload::OVERLAP_RMAT.0, workload::OVERLAP_RMAT.1).unwrap();
-    let dir = std::env::temp_dir().join(format!("pdtl-kernels-overlap-{}", std::process::id()));
+fn bench_mgt_disk_backends(c: &mut Criterion) {
+    let g = rmat(workload::DISK_RMAT.0, workload::DISK_RMAT.1).unwrap();
+    let dir = std::env::temp_dir().join(format!("pdtl-kernels-backends-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let stats = IoStats::new();
     let input = DiskGraph::write(&g, dir.join("g"), &stats).unwrap();
@@ -97,19 +102,19 @@ fn bench_mgt_disk_overlap(c: &mut Criterion) {
         start: 0,
         end: og.m_star(),
     };
-    let budget = MemoryBudget::edges(workload::OVERLAP_BUDGET);
+    let budget = MemoryBudget::edges(workload::DISK_BUDGET);
     for (latency_us, tag) in [
         (0, "mgt_disk"),
-        (workload::OVERLAP_SIM_LATENCY_US, "mgt_disk_simlat50us"),
+        (workload::DISK_SIM_LATENCY_US, "mgt_disk_simlat50us"),
     ] {
         let mut group = c.benchmark_group(tag);
-        for (mode, overlap) in [("overlap_on", true), ("overlap_off", false)] {
+        for backend in IoBackend::ALL {
             let opts = MgtOptions {
-                overlap_io: overlap,
+                backend,
                 io_latency: std::time::Duration::from_micros(latency_us),
                 ..MgtOptions::default()
             };
-            group.bench_function(mode, |b| {
+            group.bench_function(format!("backend_{backend}"), |b| {
                 b.iter(|| {
                     mgt_count_range_opt(
                         black_box(&og),
@@ -153,7 +158,7 @@ criterion_group!(
     bench_orientation,
     bench_balance,
     bench_generators,
-    bench_mgt_disk_overlap,
+    bench_mgt_disk_backends,
     bench_writer
 );
 criterion_main!(benches);

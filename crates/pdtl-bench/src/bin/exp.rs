@@ -1,22 +1,40 @@
 //! Experiment runner: regenerates the paper's tables and figures.
 //!
 //! ```text
-//! exp all            # every experiment, Full profile
-//! exp table6 fig9    # selected experiments
-//! exp all --quick    # tiny graphs (CI / smoke test)
-//! exp kernels --json # kernel micro-benches -> BENCH_kernels.json
+//! exp all                  # every experiment, Full profile
+//! exp table6 fig9          # selected experiments
+//! exp all --quick          # tiny graphs (CI / smoke test)
+//! exp kernels --json       # kernel micro-benches -> BENCH_kernels.json
+//! exp all --backend mmap   # force one I/O backend for every engine run
 //! ```
 
 use pdtl_bench::experiments::{run_experiment, ALL_EXPERIMENTS};
 use pdtl_bench::kernelbench;
 use pdtl_bench::workbench::{Profile, Workbench};
+use pdtl_io::IoBackend;
 
 /// Where `exp kernels --json` writes its snapshot (the repo root when
 /// run via `cargo run`).
 const BENCH_JSON: &str = "BENCH_kernels.json";
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--backend <b>` pins the default I/O backend for every engine run
+    // in this process via the same env override the CI matrix uses
+    // (consumed by `MgtOptions::default`). The dedicated kernel-bench
+    // backend rows still measure all three explicitly.
+    if let Some(i) = args.iter().position(|a| a == "--backend") {
+        let Some(value) = args.get(i + 1) else {
+            eprintln!("--backend needs a value (blocking|prefetch|mmap)");
+            std::process::exit(2);
+        };
+        if IoBackend::parse(value).is_none() {
+            eprintln!("bad --backend {value:?} (blocking|prefetch|mmap)");
+            std::process::exit(2);
+        }
+        std::env::set_var(pdtl_io::BACKEND_ENV, value);
+        args.drain(i..=i + 1);
+    }
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
     let json = args.iter().any(|a| a == "--json");
     let ids: Vec<String> = args
@@ -25,7 +43,7 @@ fn main() {
         .cloned()
         .collect();
     if ids.is_empty() {
-        eprintln!("usage: exp <all | kernels | id...> [--quick] [--json]");
+        eprintln!("usage: exp <all | kernels | id...> [--quick] [--json] [--backend b]");
         eprintln!("experiment ids: {}", ALL_EXPERIMENTS.join(" "));
         std::process::exit(2);
     }

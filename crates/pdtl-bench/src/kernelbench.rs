@@ -19,12 +19,12 @@ use std::time::{Duration, Instant};
 
 use pdtl_core::intersect::{intersect_gallop_visit, intersect_visit};
 use pdtl_core::mgt::{mgt_count_range_opt, mgt_in_memory, MgtOptions};
-use pdtl_core::orient::{orient_csr, orient_to_disk};
+use pdtl_core::orient::{orient_csr, orient_csr_threads, orient_to_disk};
 use pdtl_core::sink::CountSink;
 use pdtl_core::{split_ranges, BalanceStrategy, EdgeRange};
 use pdtl_graph::gen::rmat::rmat;
 use pdtl_graph::DiskGraph;
-use pdtl_io::{IoStats, MemoryBudget, U32Writer};
+use pdtl_io::{IoBackend, IoStats, MemoryBudget, U32Writer};
 
 /// The kernel workload, defined once so the criterion target
 /// (`benches/kernels.rs`) and this JSON runner measure the *same*
@@ -38,18 +38,22 @@ pub mod workload {
     pub const MGT_RMAT: (u32, u64) = (10, 1);
     /// `(scale, seed)` of the orientation bench's graph.
     pub const ORIENT_RMAT: (u32, u64) = (10, 2);
+    /// Core counts of the orientation ablation rows.
+    pub const ORIENT_CORES: [usize; 3] = [1, 2, 4];
     /// `(scale, seed)` of the load-balancing bench's graph.
     pub const BALANCE_RMAT: (u32, u64) = (12, 3);
     /// `(scale, seed)` of the generator bench (`rmat_k8`).
     pub const GEN_RMAT: (u32, u64) = (8, 4);
-    /// `(scale, seed)` of the disk-MGT overlap ablation's graph.
-    pub const OVERLAP_RMAT: (u32, u64) = (10, 13);
-    /// Memory budget (edges) of the disk-MGT overlap ablation — far
-    /// below `|E*|`, the multi-pass regime where overlap matters.
-    pub const OVERLAP_BUDGET: usize = 512;
-    /// Emulated per-block device latency (µs) of the `simlat` overlap
+    /// `(scale, seed)` of the disk-MGT backend ablation's graph
+    /// (RMAT-12, the fixture of the engine-level accounting tests).
+    pub const DISK_RMAT: (u32, u64) = (12, 18);
+    /// Memory budget (edges) of the disk-MGT backend ablation — far
+    /// below `|E*|`, the multi-pass regime where the backend choice
+    /// matters.
+    pub const DISK_BUDGET: usize = 4096;
+    /// Emulated per-block device latency (µs) of the `simlat` backend
     /// rows; the zero-latency rows measure the warm page cache.
-    pub const OVERLAP_SIM_LATENCY_US: u64 = 50;
+    pub const DISK_SIM_LATENCY_US: u64 = 50;
     /// Values written by the `u32_writer/write_all_1m` throughput case.
     pub const WRITER_N: usize = 1 << 20;
 
@@ -142,9 +146,16 @@ pub fn run_kernel_benches() -> Vec<BenchResult> {
         ));
     }
 
-    // orientation
+    // orientation, plus the cores ablation over the sharded gather
     let g2 = rmat(workload::ORIENT_RMAT.0, workload::ORIENT_RMAT.1).expect("rmat");
     out.push(time_one("orient_csr_rmat10", window, || orient_csr(&g2)));
+    for &cores in &workload::ORIENT_CORES {
+        out.push(time_one(
+            &format!("orient_csr_rmat10/cores_{cores}"),
+            window,
+            || orient_csr_threads(&g2, cores),
+        ));
+    }
 
     // load balancing
     let g3 = rmat(workload::BALANCE_RMAT.0, workload::BALANCE_RMAT.1).expect("rmat");
@@ -163,12 +174,12 @@ pub fn run_kernel_benches() -> Vec<BenchResult> {
         rmat(workload::GEN_RMAT.0, workload::GEN_RMAT.1).unwrap()
     }));
 
-    // disk-MGT overlap ablation: warm page cache and emulated-latency
-    // device, overlapped vs blocking, multi-pass budget.
+    // disk-MGT backend ablation (RMAT-12, multi-pass budget): warm page
+    // cache and emulated-latency device, one row per I/O backend.
     let dir = std::env::temp_dir().join(format!("pdtl-kernelbench-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("bench scratch dir");
     {
-        let g = rmat(workload::OVERLAP_RMAT.0, workload::OVERLAP_RMAT.1).expect("rmat");
+        let g = rmat(workload::DISK_RMAT.0, workload::DISK_RMAT.1).expect("rmat");
         let stats = IoStats::new();
         let input = DiskGraph::write(&g, dir.join("g"), &stats).expect("write");
         let (og, _) = orient_to_disk(&input, dir.join("oriented"), 2, &stats).expect("orient");
@@ -176,22 +187,26 @@ pub fn run_kernel_benches() -> Vec<BenchResult> {
             start: 0,
             end: og.m_star(),
         };
-        let budget = MemoryBudget::edges(workload::OVERLAP_BUDGET);
+        let budget = MemoryBudget::edges(workload::DISK_BUDGET);
         for (latency_us, tag) in [
             (0, "mgt_disk"),
-            (workload::OVERLAP_SIM_LATENCY_US, "mgt_disk_simlat50us"),
+            (workload::DISK_SIM_LATENCY_US, "mgt_disk_simlat50us"),
         ] {
-            for (mode, overlap) in [("overlap_on", true), ("overlap_off", false)] {
+            for backend in IoBackend::ALL {
                 let opts = MgtOptions {
-                    overlap_io: overlap,
+                    backend,
                     io_latency: Duration::from_micros(latency_us),
                     ..MgtOptions::default()
                 };
-                out.push(time_one(&format!("{tag}/{mode}"), window, || {
-                    mgt_count_range_opt(&og, full, budget, &mut CountSink, IoStats::new(), opts)
-                        .expect("mgt run")
-                        .triangles
-                }));
+                out.push(time_one(
+                    &format!("{tag}/backend_{backend}"),
+                    window,
+                    || {
+                        mgt_count_range_opt(&og, full, budget, &mut CountSink, IoStats::new(), opts)
+                            .expect("mgt run")
+                            .triangles
+                    },
+                ));
             }
         }
     }
@@ -268,13 +283,16 @@ mod tests {
     fn suite_runs_and_serialises() {
         std::env::set_var("PDTL_BENCH_MS", "1");
         let results = run_kernel_benches();
-        assert!(results.len() >= 17, "expected the full kernel set");
+        assert!(results.len() >= 23, "expected the full kernel set");
         assert!(results.iter().all(|r| r.mean_ns > 0.0 && r.iters > 0));
         let json = to_json(&results);
         assert!(json.starts_with('{') && json.ends_with("}\n"));
         assert!(json.contains("\"mgt_in_memory/budget_2048\""));
-        assert!(json.contains("\"mgt_disk/overlap_on\""));
-        assert!(json.contains("\"mgt_disk_simlat50us/overlap_off\""));
+        for backend in ["blocking", "prefetch", "mmap"] {
+            assert!(json.contains(&format!("\"mgt_disk/backend_{backend}\"")));
+            assert!(json.contains(&format!("\"mgt_disk_simlat50us/backend_{backend}\"")));
+        }
+        assert!(json.contains("\"orient_csr_rmat10/cores_2\""));
         assert!(json.contains("\"u32_writer/write_all_1m\""));
         // one "name": value line per bench, no trailing comma
         assert_eq!(json.matches(':').count(), results.len());

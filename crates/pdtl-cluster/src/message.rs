@@ -6,11 +6,22 @@
 //! listing term of Theorem IV.3 are measured from these encodings.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use pdtl_io::IoBackend;
 
 use crate::error::{ClusterError, Result};
 
 /// One logical processor's configuration `C_{i,j}` (Figure 1): its
 /// memory budget, pivot-edge range and MGT engine flags.
+///
+/// **Wire format.** Worker records are *length-prefixed*: each record
+/// is a `u16` byte length followed by that many bytes, of which the
+/// first [`WIRE_LEN`](Self::WIRE_LEN) are the fields below in order;
+/// decoders skip any trailing bytes they do not understand, so the next
+/// engine option extends the record without breaking older decoders (or
+/// this one — see the forward-compat test). PR 3-era `Config` messages
+/// (fixed 29-byte records under the original tag) still decode: the I/O
+/// backend lives in bits 1–2 of the flags byte, positioned so the old
+/// `overlap_io` bit maps onto `Blocking`/`Prefetch` exactly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WorkerConfig {
     /// Range start (oriented adjacency position).
@@ -21,8 +32,8 @@ pub struct WorkerConfig {
     pub budget_edges: u64,
     /// Enable the rank-space scan pruning (bound skips + `vhigh` cap).
     pub scan_pruning: bool,
-    /// Overlap chunk/scan I/O with intersection work.
-    pub overlap_io: bool,
+    /// Which I/O backend the worker's MGT engine streams through.
+    pub backend: IoBackend,
     /// Emulated per-block device latency in microseconds (0 = real
     /// hardware) — see `MgtOptions::io_latency`.
     pub io_latency_us: u32,
@@ -30,13 +41,79 @@ pub struct WorkerConfig {
 
 /// Wire flag bits of [`WorkerConfig`].
 const FLAG_SCAN_PRUNING: u8 = 1;
-const FLAG_OVERLAP_IO: u8 = 2;
+/// Bits 1–2 of the flags byte: the [`IoBackend`] discriminant
+/// (`0 = Blocking`, `1 = Prefetch`, `2 = Mmap`). PR 3 used bit 1 as a
+/// bare `overlap_io` flag, which this mapping subsumes: old
+/// `overlap_io = true` bytes decode as `Prefetch`, `false` as
+/// `Blocking`.
+const BACKEND_SHIFT: u8 = 1;
+const BACKEND_MASK: u8 = 0b110;
 
 impl WorkerConfig {
+    /// Known record bytes: `start` + `end` + `budget_edges` (u64 each),
+    /// flags (u8), `io_latency_us` (u32).
+    const WIRE_LEN: usize = 8 + 8 + 8 + 1 + 4;
+
     /// Pack the engine flags into the wire byte.
     fn flags(&self) -> u8 {
-        u8::from(self.scan_pruning) * FLAG_SCAN_PRUNING
-            + u8::from(self.overlap_io) * FLAG_OVERLAP_IO
+        let backend = match self.backend {
+            IoBackend::Blocking => 0u8,
+            IoBackend::Prefetch => 1,
+            IoBackend::Mmap => 2,
+        };
+        u8::from(self.scan_pruning) * FLAG_SCAN_PRUNING + (backend << BACKEND_SHIFT)
+    }
+
+    /// Unpack the backend discriminant; an unknown (future) value
+    /// degrades to the default backend rather than failing the decode.
+    fn backend_from_flags(flags: u8) -> IoBackend {
+        match (flags & BACKEND_MASK) >> BACKEND_SHIFT {
+            0 => IoBackend::Blocking,
+            1 => IoBackend::Prefetch,
+            2 => IoBackend::Mmap,
+            _ => IoBackend::default(),
+        }
+    }
+
+    /// Encode one length-prefixed record.
+    fn encode_record(&self, b: &mut BytesMut) {
+        b.put_u16_le(Self::WIRE_LEN as u16);
+        b.put_u64_le(self.start);
+        b.put_u64_le(self.end);
+        b.put_u64_le(self.budget_edges);
+        b.put_u8(self.flags());
+        b.put_u32_le(self.io_latency_us);
+    }
+
+    /// Decode the fixed known fields shared by both wire generations.
+    fn decode_fields(buf: &mut Bytes) -> Self {
+        let (start, end, budget_edges) = (buf.get_u64_le(), buf.get_u64_le(), buf.get_u64_le());
+        let flags = buf.get_u8();
+        WorkerConfig {
+            start,
+            end,
+            budget_edges,
+            scan_pruning: flags & FLAG_SCAN_PRUNING != 0,
+            backend: Self::backend_from_flags(flags),
+            io_latency_us: buf.get_u32_le(),
+        }
+    }
+
+    /// Decode one length-prefixed record, skipping any trailing bytes a
+    /// newer encoder may have appended (forward compatibility).
+    fn decode_record(buf: &mut Bytes) -> Result<Self> {
+        need(buf, 2)?;
+        let len = buf.get_u16_le() as usize;
+        need(buf, len)?;
+        if len < Self::WIRE_LEN {
+            return Err(ClusterError::Protocol(format!(
+                "worker record of {len} bytes, need at least {}",
+                Self::WIRE_LEN
+            )));
+        }
+        let cfg = Self::decode_fields(buf);
+        buf.advance(len - Self::WIRE_LEN);
+        Ok(cfg)
     }
 }
 
@@ -63,9 +140,9 @@ pub struct WorkerSummary {
     pub seeks: u64,
     /// Read + write operations.
     pub io_ops: u64,
-    /// Nanoseconds of I/O activity. With `overlap_io` this runs
-    /// concurrently with compute (device time, not stall time), so it
-    /// may approach or exceed `wall_nanos`.
+    /// Nanoseconds of I/O activity. Under the prefetch backend this
+    /// runs concurrently with compute (device time, not stall time),
+    /// so it may approach or exceed `wall_nanos`.
     pub io_nanos: u64,
     /// Worker wall time in nanoseconds.
     pub wall_nanos: u64,
@@ -109,10 +186,14 @@ pub enum Message {
     },
 }
 
-const TAG_CONFIG: u8 = 1;
+/// PR 3-era `Config` tag: fixed 29-byte worker records, no length
+/// prefix. Decoded for compatibility, never emitted.
+const TAG_CONFIG_LEGACY: u8 = 1;
 const TAG_RESULTS: u8 = 2;
 const TAG_TRIANGLES: u8 = 3;
 const TAG_NODE_ERROR: u8 = 4;
+/// Current `Config` tag: length-prefixed worker records.
+const TAG_CONFIG: u8 = 5;
 
 impl Message {
     /// Encode into a byte buffer.
@@ -131,11 +212,7 @@ impl Message {
                 b.put_u8(u8::from(*listing));
                 b.put_u32_le(workers.len() as u32);
                 for w in workers {
-                    b.put_u64_le(w.start);
-                    b.put_u64_le(w.end);
-                    b.put_u64_le(w.budget_edges);
-                    b.put_u8(w.flags());
-                    b.put_u32_le(w.io_latency_us);
+                    w.encode_record(&mut b);
                 }
             }
             Message::Results { node, workers } => {
@@ -193,21 +270,27 @@ impl Message {
                 need(&buf, 5)?;
                 let listing = buf.get_u8() != 0;
                 let count = buf.get_u32_le() as usize;
-                need(&buf, count * 29)?;
                 let workers = (0..count)
-                    .map(|_| {
-                        let (start, end, budget_edges) =
-                            (buf.get_u64_le(), buf.get_u64_le(), buf.get_u64_le());
-                        let flags = buf.get_u8();
-                        WorkerConfig {
-                            start,
-                            end,
-                            budget_edges,
-                            scan_pruning: flags & FLAG_SCAN_PRUNING != 0,
-                            overlap_io: flags & FLAG_OVERLAP_IO != 0,
-                            io_latency_us: buf.get_u32_le(),
-                        }
-                    })
+                    .map(|_| WorkerConfig::decode_record(&mut buf))
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(Message::Config {
+                    node,
+                    graph_base,
+                    workers,
+                    listing,
+                })
+            }
+            TAG_CONFIG_LEGACY => {
+                // PR 3-era encoding: fixed-size records, no prefix. The
+                // flags-byte layout is shared, so the old overlap_io
+                // bit maps onto Blocking/Prefetch directly.
+                let graph_base = get_string(&mut buf)?;
+                need(&buf, 5)?;
+                let listing = buf.get_u8() != 0;
+                let count = buf.get_u32_le() as usize;
+                need(&buf, count * WorkerConfig::WIRE_LEN)?;
+                let workers = (0..count)
+                    .map(|_| WorkerConfig::decode_fields(&mut buf))
                     .collect();
                 Ok(Message::Config {
                     node,
@@ -318,7 +401,7 @@ mod tests {
                     end: 100,
                     budget_edges: 50,
                     scan_pruning: true,
-                    overlap_io: false,
+                    backend: IoBackend::Blocking,
                     io_latency_us: 0,
                 },
                 WorkerConfig {
@@ -326,13 +409,143 @@ mod tests {
                     end: 220,
                     budget_edges: 50,
                     scan_pruning: false,
-                    overlap_io: true,
+                    backend: IoBackend::Prefetch,
                     io_latency_us: 50,
+                },
+                WorkerConfig {
+                    start: 220,
+                    end: 300,
+                    budget_edges: 50,
+                    scan_pruning: true,
+                    backend: IoBackend::Mmap,
+                    io_latency_us: 7,
                 },
             ],
             listing: true,
         };
         assert_eq!(Message::decode(msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn pr3_era_config_still_decodes() {
+        // A Config message exactly as PR 3 encoded it: old tag byte,
+        // fixed 29-byte worker records, flags bit 1 = overlap_io. The
+        // overlap bit must map onto Blocking/Prefetch.
+        let mut b = BytesMut::new();
+        b.put_u8(1); // TAG_CONFIG_LEGACY
+        b.put_u32_le(3); // node
+        put_string(&mut b, "/data/node3/oriented");
+        b.put_u8(1); // listing
+        b.put_u32_le(2); // worker count
+        for (flags, latency) in [(0b01u8, 0u32), (0b11, 50)] {
+            b.put_u64_le(10);
+            b.put_u64_le(20);
+            b.put_u64_le(64);
+            b.put_u8(flags);
+            b.put_u32_le(latency);
+        }
+        let decoded = Message::decode(b.freeze()).unwrap();
+        let Message::Config { workers, node, .. } = decoded else {
+            panic!("expected Config, got {decoded:?}");
+        };
+        assert_eq!(node, 3);
+        assert_eq!(
+            workers,
+            vec![
+                WorkerConfig {
+                    start: 10,
+                    end: 20,
+                    budget_edges: 64,
+                    scan_pruning: true,
+                    backend: IoBackend::Blocking, // overlap_io = false
+                    io_latency_us: 0,
+                },
+                WorkerConfig {
+                    start: 10,
+                    end: 20,
+                    budget_edges: 64,
+                    scan_pruning: true,
+                    backend: IoBackend::Prefetch, // overlap_io = true
+                    io_latency_us: 50,
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn forward_compat_decoder_skips_unknown_record_tail() {
+        // A future encoder appends a field to each worker record and
+        // bumps the length prefix; this decoder must parse the fields
+        // it knows and skip the rest, for every worker in the message.
+        let workers = [(0u64, 100u64, 0b011u8), (100, 250, 0b101)];
+        let mut b = BytesMut::new();
+        b.put_u8(5); // TAG_CONFIG
+        b.put_u32_le(9);
+        put_string(&mut b, "/g");
+        b.put_u8(0);
+        b.put_u32_le(workers.len() as u32);
+        for &(start, end, flags) in &workers {
+            b.put_u16_le(29 + 6); // future record: 6 extra bytes
+            b.put_u64_le(start);
+            b.put_u64_le(end);
+            b.put_u64_le(1024);
+            b.put_u8(flags);
+            b.put_u32_le(0);
+            b.put_slice(b"future"); // the unknown field
+        }
+        let decoded = Message::decode(b.freeze()).unwrap();
+        let Message::Config { workers: got, .. } = decoded else {
+            panic!("expected Config, got {decoded:?}");
+        };
+        assert_eq!(got.len(), 2);
+        assert_eq!((got[0].start, got[0].end), (0, 100));
+        assert_eq!(got[0].backend, IoBackend::Prefetch);
+        assert!(got[0].scan_pruning);
+        assert_eq!((got[1].start, got[1].end), (100, 250));
+        assert_eq!(got[1].backend, IoBackend::Mmap);
+        assert!(got[1].scan_pruning);
+    }
+
+    #[test]
+    fn unknown_future_backend_degrades_to_default() {
+        // Discriminant 3 is unassigned (a future backend, e.g.
+        // io_uring): decoding must not fail, it falls back to the
+        // default backend.
+        assert_eq!(
+            WorkerConfig::backend_from_flags(0b110),
+            IoBackend::default()
+        );
+    }
+
+    #[test]
+    fn truncated_and_undersized_records_rejected() {
+        let msg = Message::Config {
+            node: 0,
+            graph_base: "x".into(),
+            workers: vec![WorkerConfig {
+                start: 0,
+                end: 1,
+                budget_edges: 1,
+                scan_pruning: true,
+                backend: IoBackend::Prefetch,
+                io_latency_us: 0,
+            }],
+            listing: false,
+        };
+        // record cut mid-field
+        let enc = msg.encode();
+        assert!(Message::decode(enc.slice(0..enc.len() - 3)).is_err());
+        // a length prefix smaller than the known fields
+        let mut b = BytesMut::new();
+        b.put_u8(5);
+        b.put_u32_le(0);
+        put_string(&mut b, "x");
+        b.put_u8(0);
+        b.put_u32_le(1);
+        b.put_u16_le(4); // too short to hold the known fields
+        b.put_u32_le(0);
+        let err = Message::decode(b.freeze()).unwrap_err();
+        assert!(err.to_string().contains("worker record"), "{err}");
     }
 
     #[test]
@@ -376,23 +589,6 @@ mod tests {
     fn decode_rejects_garbage() {
         assert!(Message::decode(Bytes::from_static(&[])).is_err());
         assert!(Message::decode(Bytes::from_static(&[9, 0, 0, 0, 0])).is_err());
-        // truncated config
-        let msg = Message::Config {
-            node: 0,
-            graph_base: "x".into(),
-            workers: vec![WorkerConfig {
-                start: 0,
-                end: 1,
-                budget_edges: 1,
-                scan_pruning: true,
-                overlap_io: true,
-                io_latency_us: 0,
-            }],
-            listing: false,
-        };
-        let enc = msg.encode();
-        let cut = enc.slice(0..enc.len() - 3);
-        assert!(Message::decode(cut).is_err());
     }
 
     #[test]

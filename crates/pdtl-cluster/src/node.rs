@@ -83,7 +83,7 @@ pub fn run_workers(
                 let budget = MemoryBudget::edges(cfg.budget_edges as usize);
                 let opts = MgtOptions {
                     scan_pruning: cfg.scan_pruning,
-                    overlap_io: cfg.overlap_io,
+                    backend: cfg.backend,
                     io_latency: std::time::Duration::from_micros(cfg.io_latency_us as u64),
                 };
                 if listing {
@@ -184,7 +184,7 @@ mod tests {
                         end: half,
                         budget_edges: 256,
                         scan_pruning: true,
-                        overlap_io: true,
+                        backend: pdtl_io::IoBackend::default(),
                         io_latency_us: 0,
                     },
                     WorkerConfig {
@@ -192,7 +192,7 @@ mod tests {
                         end: m_star,
                         budget_edges: 256,
                         scan_pruning: true,
-                        overlap_io: true,
+                        backend: pdtl_io::IoBackend::default(),
                         io_latency_us: 0,
                     },
                 ],
@@ -229,7 +229,7 @@ mod tests {
                     end: m_star,
                     budget_edges: 128,
                     scan_pruning: true,
-                    overlap_io: true,
+                    backend: pdtl_io::IoBackend::default(),
                     io_latency_us: 0,
                 }],
                 listing: true,

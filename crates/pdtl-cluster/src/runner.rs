@@ -157,7 +157,7 @@ impl ClusterRunner {
                     end: r.end,
                     budget_edges: cfg.budget.edges as u64,
                     scan_pruning: cfg.mgt.scan_pruning,
-                    overlap_io: cfg.mgt.overlap_io,
+                    backend: cfg.mgt.backend,
                     io_latency_us: cfg.mgt.io_latency.as_micros().min(u32::MAX as u128) as u32,
                 })
                 .collect();

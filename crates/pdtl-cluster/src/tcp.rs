@@ -91,7 +91,7 @@ mod tests {
                     end: og.m_star(),
                     budget_edges: 512,
                     scan_pruning: true,
-                    overlap_io: true,
+                    backend: pdtl_io::IoBackend::default(),
                     io_latency_us: 0,
                 }],
                 listing: false,

@@ -143,7 +143,7 @@ mod tests {
                 end: 10,
                 budget_edges: 5,
                 scan_pruning: true,
-                overlap_io: true,
+                backend: pdtl_io::IoBackend::default(),
                 io_latency_us: 0,
             }],
             listing: false,

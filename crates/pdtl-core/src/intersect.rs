@@ -5,14 +5,16 @@
 //! sorted arrays beat any hash structure by more than 10× here, so these
 //! kernels are plain merges over sorted `u32` slices.
 //!
-//! * [`intersect_visit`] — two-pointer merge unrolled into a pair of
-//!   tight single-comparison advance loops (each catches one cursor up
-//!   to the other's frontier before re-testing for a match),
-//!   `O(|a| + |b|)`. Measured against the classic three-way branch and
-//!   a fully branchless cmov form on this container, the advance-loop
-//!   form wins on the short, irregular lists real oriented graphs
-//!   produce (the branchless form's serial dependency chain loses
-//!   everywhere).
+//! * [`intersect_visit`] — two-pointer merge, `O(|a| + |b|)`, with two
+//!   forms picked by length ratio: near-equal lengths take the classic
+//!   three-way branch (one comparison per step — on interleaved inputs
+//!   the advance-loop form's extra frontier re-tests cost ~50%, the
+//!   PR 2 `1000x1000` regression), while skewed lengths take the
+//!   advance-loop form (each loop catches one cursor up to the other's
+//!   frontier with a single comparison per step — it wins when one side
+//!   produces long runs, which is what skewed lengths guarantee). The
+//!   fully branchless cmov form was also measured and loses everywhere
+//!   (serial dependency chain).
 //! * [`intersect_gallop_visit`] — galloping (exponential search) from the
 //!   smaller side, `O(|a| log(|b|/|a|))`; wins when sizes are lopsided,
 //!   which happens constantly on scale-free graphs (a hub's list against
@@ -25,12 +27,26 @@
 //! performed — `O(s log(l/s))` for galloping, not `s + l` — so
 //! `WorkerReport::cpu_ops` reflects the work really done.
 
-/// Size ratio beyond which galloping beats the linear merge. Re-tuned
-/// via the `gallop_crossover` ablation bench on this container: at
-/// ratio 10 (10k into 100k) the two are break-even (merge ~58 µs min vs
-/// gallop ~66 µs), at ratio 100 galloping wins ~20×; the crossover sits
-/// just above 10, so gallop whenever the ratio exceeds 12.
+/// Size ratio beyond which galloping beats the linear merge. Justified
+/// by the `gallop_crossover` ablation bench, which sweeps ratios 1–10⁴
+/// into a 100k-element set *and* measures the three kernel-bench shapes
+/// directly (this container, min/iter): ratio 1 (`1000x1000`) linear
+/// 1.2 µs vs gallop 3.4 µs — linear wins 3×; ratio 10 (10k into 100k)
+/// break-even; ratio 100 (`100x10000`) linear 5.8 µs vs gallop 1.3 µs;
+/// ratio 10⁴ (`10x100000`) linear 41 µs vs gallop 0.24 µs. The
+/// crossover sits just above 10, so gallop whenever the ratio
+/// exceeds 12.
 const GALLOP_RATIO: usize = 12;
+
+/// Size ratio beyond which the advance-loop merge beats the three-way
+/// interleaved merge (both linear). Below it, inputs interleave tightly
+/// and the advance loops' per-frontier re-test adds ~50% comparisons
+/// (the PR 2 `1000x1000` regression, 1.33 → 2.01 µs); above it, one
+/// side produces multi-element runs and the single-comparison advance
+/// steps beat the three-way branch (`100x10000` 10.4 → 6.2 µs in PR 2).
+/// Any threshold in (1, 10] separates the bench shapes; 4 leaves margin
+/// on both sides.
+const ADVANCE_RATIO: usize = 4;
 
 /// Visit every element of `a ∩ b` in ascending order. Returns the count.
 #[inline]
@@ -40,18 +56,64 @@ pub fn intersect_visit(a: &[u32], b: &[u32], visit: impl FnMut(u32)) -> u64 {
 
 /// Merge intersection returning `(matches, comparisons)`.
 ///
-/// Unrolled into two tight advance loops — each runs one cursor up to
-/// the other's frontier with a single comparison per step — followed by
-/// one match test per frontier meeting. Comparisons counted are the
-/// advance steps plus the match tests (at most `2(|a| + |b|)`).
+/// Dispatches on length ratio: tightly interleaved (near-equal-length)
+/// inputs take the branch-predictable three-way merge, skewed inputs
+/// take the advance-loop merge (see [`ADVANCE_RATIO`]). Both are
+/// `O(|a| + |b|)` with at most `2(|a| + |b|)` counted comparisons and
+/// produce identical output (property-tested).
 #[inline]
-pub fn intersect_visit_counted(a: &[u32], b: &[u32], mut visit: impl FnMut(u32)) -> (u64, u64) {
-    let (mut i, mut j) = (0usize, 0usize);
-    let mut matches = 0u64;
-    let mut cmps = 0u64;
+pub fn intersect_visit_counted(a: &[u32], b: &[u32], visit: impl FnMut(u32)) -> (u64, u64) {
     if a.is_empty() || b.is_empty() {
         return (0, 0);
     }
+    let (s, l) = if a.len() <= b.len() {
+        (a.len(), b.len())
+    } else {
+        (b.len(), a.len())
+    };
+    if l >= ADVANCE_RATIO * s {
+        intersect_advance_counted(a, b, visit)
+    } else {
+        intersect_interleaved_counted(a, b, visit)
+    }
+}
+
+/// The three-way-branch merge: one comparison per step, the fast path
+/// on inputs whose elements interleave (near-equal lengths). Callers
+/// guarantee both slices are non-empty.
+///
+/// No comparison counter runs in the loop: every step advances `i`,
+/// `j`, or both (on a match), so the step count is recoverable as
+/// `i + j - matches` — one comparison per step, none of the counter's
+/// loop-carried dependency.
+#[inline]
+fn intersect_interleaved_counted(a: &[u32], b: &[u32], mut visit: impl FnMut(u32)) -> (u64, u64) {
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut matches = 0u64;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                visit(a[i]);
+                matches += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    (matches, (i + j) as u64 - matches)
+}
+
+/// The advance-loop merge: each tight loop runs one cursor up to the
+/// other's frontier with a single comparison per step, the fast path
+/// when one side produces long runs (skewed lengths). Callers guarantee
+/// both slices are non-empty.
+#[inline]
+fn intersect_advance_counted(a: &[u32], b: &[u32], mut visit: impl FnMut(u32)) -> (u64, u64) {
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut matches = 0u64;
+    let mut cmps = 0u64;
     'outer: loop {
         // Tight single-comparison advance loops: each catches one side
         // up to the other's frontier before re-testing for a match.
@@ -257,6 +319,29 @@ mod tests {
             let (n3, o3) = collect(|a, b, v| intersect_adaptive_visit(a, b, v), &a, &b);
             assert_eq!((n1, &o1), (n2, &o2), "trial {trial}");
             assert_eq!((n1, &o1), (n3, &o3), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn interleaved_and_advance_forms_agree() {
+        // The ratio dispatch is an optimisation, never a semantic
+        // change: both linear forms must produce identical output on
+        // every shape (interleaved, skewed, ties at both ends).
+        let shapes: [(usize, usize); 6] =
+            [(8, 8), (100, 100), (50, 190), (10, 41), (3, 1000), (1, 7)];
+        for &(la, lb) in &shapes {
+            let a: Vec<u32> = (0..la as u32).map(|x| x * 3).collect();
+            let b: Vec<u32> = (0..lb as u32).map(|x| x * 2 + 1).collect();
+            for (x, y) in [(&a, &b), (&b, &a)] {
+                let mut o1 = Vec::new();
+                let (n1, _) = intersect_interleaved_counted(x, y, |v| o1.push(v));
+                let mut o2 = Vec::new();
+                let (n2, _) = intersect_advance_counted(x, y, |v| o2.push(v));
+                let mut o3 = Vec::new();
+                let (n3, _) = intersect_visit_counted(x, y, |v| o3.push(v));
+                assert_eq!((n1, &o1), (n2, &o2), "{la}x{lb}");
+                assert_eq!((n1, &o1), (n3, &o3), "{la}x{lb}");
+            }
         }
     }
 

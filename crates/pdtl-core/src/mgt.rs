@@ -28,16 +28,28 @@
 //!   actually bites. [`MgtOptions::scan_pruning`] gates both (on by
 //!   default; the ablation bench and I/O tests compare).
 //!
-//! On top of that, [`MgtOptions::overlap_io`] (on by default) overlaps
-//! the remaining I/O with intersection work: chunk `k+1` loads on a
-//! background thread while chunk `k`'s scan pass computes
-//! ([`ChunkPrefetcher`]), and the scan stream is read ahead by a
-//! [`PrefetchReader`], which also keeps the pruned scan's coalesced
-//! short skips sequential on disk. Overlapping is a pure scheduling
-//! change: the engine counts the exact same `bytes_read` and `seeks`
-//! either way, which the integration tests assert. Device waits can be
+//! On top of that, [`MgtOptions::backend`] selects how the remaining
+//! I/O is performed behind the same seam:
+//!
+//! * [`IoBackend::Prefetch`] (the default) overlaps I/O with
+//!   intersection work: chunk `k+1` loads on a background thread while
+//!   chunk `k`'s scan pass computes ([`ChunkPrefetcher`]), and the scan
+//!   stream is read ahead by a [`PrefetchReader`], which also keeps the
+//!   pruned scan's coalesced short skips sequential on disk.
+//! * [`IoBackend::Mmap`] maps the oriented adjacency once
+//!   ([`pdtl_io::MmapSource`]) and serves both the scan stream and the
+//!   `edg` chunks *zero-copy*: the chunk index is built directly over
+//!   the mapped region, so chunk "loads" become pointer arithmetic plus
+//!   accounting — the fastest backend when the graph sits in the page
+//!   cache. Unsupported platforms degrade to `Blocking` automatically.
+//! * [`IoBackend::Blocking`] is the PR 2 synchronous behaviour, kept as
+//!   the accounting reference and ablation baseline.
+//!
+//! Switching backends is a pure scheduling change: the engine counts
+//! the exact same `bytes_read` and `seeks` whichever backend runs,
+//! which the integration and property tests assert. Device waits can be
 //! recreated deterministically on warm page caches via
-//! [`MgtOptions::io_latency`].
+//! [`MgtOptions::io_latency`] (honoured by all three backends).
 //!
 //! Everything is sorted arrays — the paper found set/map structures >10×
 //! slower (§IV-A1). Each triangle is found exactly once because its pivot
@@ -57,7 +69,8 @@
 use std::sync::Arc;
 
 use pdtl_io::{
-    ChunkPrefetcher, CpuIoTimer, IoStats, MemoryBudget, PrefetchReader, U32Reader, U32Source,
+    ChunkPrefetcher, CpuIoTimer, IoBackend, IoStats, MemoryBudget, MmapSource, PrefetchReader,
+    U32Reader, U32Source,
 };
 
 use crate::balance::EdgeRange;
@@ -74,14 +87,16 @@ pub struct MgtOptions {
     /// `(min, max)` bounds cannot overlap the resident window. Disable
     /// only to measure the ablation (PR 1 behaviour).
     pub scan_pruning: bool,
-    /// Overlap I/O with intersection work: prefetch chunk `k+1` during
-    /// chunk `k`'s scan pass and read the scan stream ahead on a
-    /// background thread. Counts the exact same `bytes_read` and
-    /// `seeks` as the blocking engine — it is a scheduling change, not
-    /// a different I/O plan. Disable only to measure the ablation
-    /// (PR 2 behaviour). Ignored by the in-memory engine, which has no
-    /// I/O to overlap.
-    pub overlap_io: bool,
+    /// How the disk engine performs its chunk and scan I/O. Every
+    /// backend counts the exact same `bytes_read` and `seeks` — the
+    /// choice is a scheduling/copy change, not a different I/O plan:
+    /// [`IoBackend::Prefetch`] (default) hides device waits behind
+    /// compute, [`IoBackend::Mmap`] serves page-cache-resident graphs
+    /// zero-copy, [`IoBackend::Blocking`] is the synchronous reference.
+    /// The `PDTL_IO_BACKEND` env var overrides the default, which is
+    /// how the CI matrix runs the suite under each backend. Ignored by
+    /// the in-memory engine, which has no I/O at all.
+    pub backend: IoBackend,
     /// Emulated per-block-read device latency
     /// ([`U32Reader::set_read_latency`]), the I/O analogue of the
     /// cluster's `NetModel`: page-cached fixtures never block, so the
@@ -95,7 +110,7 @@ impl Default for MgtOptions {
     fn default() -> Self {
         Self {
             scan_pruning: true,
-            overlap_io: true,
+            backend: IoBackend::default_from_env(),
             io_latency: std::time::Duration::ZERO,
         }
     }
@@ -131,14 +146,27 @@ pub fn mgt_count_range_opt<S: TriangleSink>(
         r.set_read_latency(opts.io_latency);
         Ok(r)
     };
-    let (triangles, cpu_ops, iterations) = if opts.overlap_io {
-        let scan_reader = PrefetchReader::new(open()?)?;
-        let chunks = OverlappedChunks::new(open()?)?;
-        mgt_disk_loop(og, range, budget, sink, opts, chunks, scan_reader)?
-    } else {
-        let scan_reader = open()?;
-        let chunks = BlockingChunks(open()?);
-        mgt_disk_loop(og, range, budget, sink, opts, chunks, scan_reader)?
+    let open_map = || -> Result<MmapSource> {
+        let mut m = MmapSource::open(og.disk.adj_path(), stats.clone())?;
+        m.set_read_latency(opts.io_latency);
+        Ok(m)
+    };
+    let (triangles, cpu_ops, iterations) = match opts.backend.resolve() {
+        IoBackend::Prefetch => {
+            let scan_reader = CopyScan(PrefetchReader::new(open()?)?);
+            let chunks = OverlappedChunks::new(open()?)?;
+            mgt_disk_loop(og, range, budget, sink, opts, chunks, scan_reader)?
+        }
+        IoBackend::Blocking => {
+            let scan_reader = CopyScan(open()?);
+            let chunks = BlockingChunks(open()?);
+            mgt_disk_loop(og, range, budget, sink, opts, chunks, scan_reader)?
+        }
+        IoBackend::Mmap => {
+            let scan_reader = MmapScan(open_map()?);
+            let chunks = MmapChunks(open_map()?);
+            mgt_disk_loop(og, range, budget, sink, opts, chunks, scan_reader)?
+        }
     };
     sink.flush()?;
 
@@ -161,37 +189,62 @@ pub fn mgt_count_range_opt<S: TriangleSink>(
     })
 }
 
-/// Source of `edg` chunks for the disk engine. The blocking variant
-/// loads on demand; the overlapped one serves a chunk loaded in the
-/// background and immediately starts on the next.
+/// Source of `edg` chunks for the disk engine, returning each chunk as
+/// a slice so backends choose their own storage: the blocking variant
+/// loads into `scratch` on demand, the overlapped one serves a chunk
+/// loaded in the background (and immediately starts on the next), and
+/// the mmap variant returns a window of the mapped adjacency directly —
+/// no copy at all.
 trait ChunkSource {
-    /// Replace `out` with the values of `[pos, pos + len)`. `next` is
-    /// the following chunk's `(pos, len)`, which an overlapped source
-    /// starts loading before returning.
-    fn load(
-        &mut self,
+    /// The values of `[pos, pos + len)`, backed either by `scratch` or
+    /// by the source itself. `next` is the following chunk's
+    /// `(pos, len)`, which an overlapped source starts loading (and the
+    /// mmap source hints with `MADV_WILLNEED`) before returning.
+    fn load<'a>(
+        &'a mut self,
         pos: u64,
         len: usize,
         next: Option<(u64, usize)>,
-        out: &mut Vec<u32>,
-    ) -> Result<()>;
+        scratch: &'a mut Vec<u32>,
+    ) -> Result<&'a [u32]>;
 }
 
 struct BlockingChunks(U32Reader);
 
 impl ChunkSource for BlockingChunks {
-    fn load(
-        &mut self,
+    fn load<'a>(
+        &'a mut self,
         pos: u64,
         len: usize,
         _next: Option<(u64, usize)>,
-        out: &mut Vec<u32>,
-    ) -> Result<()> {
+        scratch: &'a mut Vec<u32>,
+    ) -> Result<&'a [u32]> {
         // read_exact_range is the same primitive the overlapped
         // source's background thread uses, so the two modes cannot
         // drift on out-of-range handling.
-        self.0.read_exact_range(pos, len, out)?;
-        Ok(())
+        self.0.read_exact_range(pos, len, scratch)?;
+        Ok(&scratch[..])
+    }
+}
+
+/// Zero-copy chunk loads over the mapped oriented adjacency: the chunk
+/// "load" is pointer arithmetic plus the buffered reader's exact
+/// seek/refill accounting ([`MmapSource::range_run`]).
+struct MmapChunks(MmapSource);
+
+impl ChunkSource for MmapChunks {
+    fn load<'a>(
+        &'a mut self,
+        pos: u64,
+        len: usize,
+        next: Option<(u64, usize)>,
+        _scratch: &'a mut Vec<u32>,
+    ) -> Result<&'a [u32]> {
+        if let Some((npos, nlen)) = next {
+            // Hint the next resident window while this one is scanned.
+            self.0.will_need(npos, nlen);
+        }
+        Ok(self.0.range_run(pos, len)?)
     }
 }
 
@@ -211,13 +264,13 @@ impl OverlappedChunks {
 }
 
 impl ChunkSource for OverlappedChunks {
-    fn load(
-        &mut self,
+    fn load<'a>(
+        &'a mut self,
         pos: u64,
         len: usize,
         next: Option<(u64, usize)>,
-        out: &mut Vec<u32>,
-    ) -> Result<()> {
+        scratch: &'a mut Vec<u32>,
+    ) -> Result<&'a [u32]> {
         if self.in_flight != Some((pos, len)) {
             if self.in_flight.is_some() {
                 // A stale request is outstanding (a caller deviated
@@ -229,20 +282,82 @@ impl ChunkSource for OverlappedChunks {
             self.prefetcher.request(pos, len, Vec::new());
         }
         let loaded = self.prefetcher.take()?;
-        let spare = std::mem::replace(out, loaded);
+        let spare = std::mem::replace(scratch, loaded);
         self.in_flight = next;
         if let Some((npos, nlen)) = next {
             // Chunk k+1 loads while chunk k's scan pass computes.
             self.prefetcher.request(npos, nlen, spare);
         }
-        Ok(())
+        Ok(&scratch[..])
     }
 }
 
-/// The disk engine's chunk/scan loop, generic over blocking vs
-/// overlapped I/O so the two modes cannot drift. Returns
-/// `(triangles, cpu_ops, iterations)`.
-fn mgt_disk_loop<S: TriangleSink, C: ChunkSource, R: U32Source>(
+/// Source of out-lists for the scan pass, returning each list as a
+/// slice: buffered backends decode into `scratch`, the mmap backend
+/// serves the list straight out of the mapping.
+trait ScanSource {
+    /// Reposition to the `index`-th `u32` (clamped; counted as a seek).
+    fn seek_to(&mut self, index: u64) -> pdtl_io::Result<()>;
+    /// Skip `n` values (clamped; short skips coalesce to read-through).
+    fn skip(&mut self, n: u64) -> pdtl_io::Result<()>;
+    /// The next `n` values (fewer at end of file), backed either by
+    /// `scratch` or by the source itself.
+    fn next_run<'a>(
+        &'a mut self,
+        n: usize,
+        scratch: &'a mut Vec<u32>,
+    ) -> pdtl_io::Result<&'a [u32]>;
+}
+
+/// Any [`U32Source`] as a [`ScanSource`], decoding into the scratch
+/// buffer (the blocking and prefetching scan paths).
+struct CopyScan<S: U32Source>(S);
+
+impl<S: U32Source> ScanSource for CopyScan<S> {
+    fn seek_to(&mut self, index: u64) -> pdtl_io::Result<()> {
+        self.0.seek_to(index)
+    }
+
+    fn skip(&mut self, n: u64) -> pdtl_io::Result<()> {
+        self.0.skip(n)
+    }
+
+    fn next_run<'a>(
+        &'a mut self,
+        n: usize,
+        scratch: &'a mut Vec<u32>,
+    ) -> pdtl_io::Result<&'a [u32]> {
+        scratch.clear();
+        self.0.read_into(scratch, n)?;
+        Ok(&scratch[..])
+    }
+}
+
+/// The zero-copy scan path: out-lists are windows of the mapping.
+struct MmapScan(MmapSource);
+
+impl ScanSource for MmapScan {
+    fn seek_to(&mut self, index: u64) -> pdtl_io::Result<()> {
+        U32Source::seek_to(&mut self.0, index)
+    }
+
+    fn skip(&mut self, n: u64) -> pdtl_io::Result<()> {
+        U32Source::skip(&mut self.0, n)
+    }
+
+    fn next_run<'a>(
+        &'a mut self,
+        n: usize,
+        _scratch: &'a mut Vec<u32>,
+    ) -> pdtl_io::Result<&'a [u32]> {
+        self.0.read_run(n)
+    }
+}
+
+/// The disk engine's chunk/scan loop, generic over the I/O backend
+/// (blocking, overlapped or memory-mapped chunk/scan sources) so the
+/// modes cannot drift. Returns `(triangles, cpu_ops, iterations)`.
+fn mgt_disk_loop<S: TriangleSink, C: ChunkSource, R: ScanSource>(
     og: &OrientedGraph,
     range: EdgeRange,
     budget: MemoryBudget,
@@ -255,9 +370,11 @@ fn mgt_disk_loop<S: TriangleSink, C: ChunkSource, R: U32Source>(
     let ids = og.map.ids();
     let n = og.num_vertices();
     let chunk_cap = budget.chunk_edges();
-    let mut edg: Vec<u32> = Vec::with_capacity(chunk_cap.min(range.len() as usize));
+    // Backing storage for backends that decode (the mmap backend serves
+    // slices of the mapping instead and leaves these untouched).
+    let mut edg_buf: Vec<u32> = Vec::with_capacity(chunk_cap.min(range.len() as usize));
     let mut ind: Vec<(u32, u32)> = Vec::new();
-    let mut nm: Vec<u32> = Vec::with_capacity(og.d_star_max as usize);
+    let mut nm_buf: Vec<u32> = Vec::with_capacity(og.d_star_max as usize);
     let mut triangles = 0u64;
     let mut cpu_ops = 0u64;
     let mut iterations = 0u64;
@@ -275,7 +392,7 @@ fn mgt_disk_loop<S: TriangleSink, C: ChunkSource, R: U32Source>(
                 (range.end - chunk_end).min(chunk_cap as u64) as usize,
             )
         });
-        chunks.load(pos, len, next, &mut edg)?;
+        let edg = chunks.load(pos, len, next, &mut edg_buf)?;
         let (vlow, vhigh) = build_chunk_index(offsets, pos, chunk_end, &mut ind);
         cpu_ops += len as u64 + ind.len() as u64;
 
@@ -297,8 +414,7 @@ fn mgt_disk_loop<S: TriangleSink, C: ChunkSource, R: U32Source>(
                     continue;
                 }
             }
-            nm.clear();
-            scan_reader.read_into(&mut nm, du)?;
+            let nm = scan_reader.next_run(du, &mut nm_buf)?;
             cpu_ops += du as u64;
 
             // N+(u): entries of nm with resident out-edges. nm is sorted,
@@ -587,7 +703,7 @@ mod tests {
         // win, keeping the comparison honest. Min-of-3 runs per mode.
         let g = rmat(12, 18).unwrap();
         let (og, _) = disk_oriented(&g, "overlap-wall");
-        let run = |overlap: bool| {
+        let run = |backend: IoBackend| {
             let s = IoStats::new();
             let r = mgt_count_range_opt(
                 &og,
@@ -596,7 +712,7 @@ mod tests {
                 &mut CountSink,
                 s,
                 MgtOptions {
-                    overlap_io: overlap,
+                    backend,
                     io_latency: std::time::Duration::from_micros(50),
                     ..MgtOptions::default()
                 },
@@ -604,11 +720,11 @@ mod tests {
             .unwrap();
             (r.triangles, r.io.bytes_read, r.io.seeks, r.breakdown.wall)
         };
-        let best = |overlap: bool| (0..3).map(|_| run(overlap)).min_by_key(|r| r.3).unwrap();
-        let (t_ov, bytes_ov, seeks_ov, wall_ov) = best(true);
-        let (t_bl, bytes_bl, seeks_bl, wall_bl) = best(false);
+        let best = |backend| (0..3).map(|_| run(backend)).min_by_key(|r| r.3).unwrap();
+        let (t_ov, bytes_ov, seeks_ov, wall_ov) = best(IoBackend::Prefetch);
+        let (t_bl, bytes_bl, seeks_bl, wall_bl) = best(IoBackend::Blocking);
         println!(
-            "overlap_io wall at 50µs/block device latency: {wall_ov:?} vs blocking \
+            "prefetch backend wall at 50µs/block device latency: {wall_ov:?} vs blocking \
              {wall_bl:?} ({:.1}% cut; {bytes_ov} bytes, {seeks_ov} seeks each)",
             100.0 * (1.0 - wall_ov.as_secs_f64() / wall_bl.as_secs_f64())
         );
@@ -633,14 +749,15 @@ mod tests {
     }
 
     #[test]
-    fn overlapped_and_blocking_agree_across_budgets() {
-        // Both I/O modes must produce the oracle count and identical
-        // I/O accounting at every budget, including chunk = 1 edge.
+    fn all_backends_agree_across_budgets() {
+        // Every I/O backend must produce the oracle count and identical
+        // I/O accounting at every budget, including chunk = 1 edge. The
+        // blocking engine is the accounting reference.
         let g = rmat(8, 11).unwrap();
         let expected = triangle_count(&g);
-        let (og, _) = disk_oriented(&g, "overlap-agree");
+        let (og, _) = disk_oriented(&g, "backend-agree");
         for edges in [1 << 20, 4096, 256, 32, 8, 2] {
-            let run = |overlap: bool| {
+            let run = |backend: IoBackend| {
                 let s = IoStats::new();
                 let r = mgt_count_range_opt(
                     &og,
@@ -649,19 +766,21 @@ mod tests {
                     &mut CountSink,
                     s,
                     MgtOptions {
-                        overlap_io: overlap,
+                        backend,
                         ..MgtOptions::default()
                     },
                 )
                 .unwrap();
                 (r.triangles, r.io.bytes_read, r.io.seeks)
             };
-            let (t_ov, bytes_ov, seeks_ov) = run(true);
-            let (t_bl, bytes_bl, seeks_bl) = run(false);
-            assert_eq!(t_ov, expected, "budget {edges}");
+            let (t_bl, bytes_bl, seeks_bl) = run(IoBackend::Blocking);
             assert_eq!(t_bl, expected, "budget {edges}");
-            assert_eq!(bytes_ov, bytes_bl, "budget {edges}: bytes_read");
-            assert_eq!(seeks_ov, seeks_bl, "budget {edges}: seeks");
+            for backend in [IoBackend::Prefetch, IoBackend::Mmap] {
+                let (t, bytes, seeks) = run(backend);
+                assert_eq!(t, expected, "budget {edges} {backend}");
+                assert_eq!(bytes, bytes_bl, "budget {edges} {backend}: bytes_read");
+                assert_eq!(seeks, seeks_bl, "budget {edges} {backend}: seeks");
+            }
         }
     }
 

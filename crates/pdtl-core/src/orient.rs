@@ -96,44 +96,53 @@ impl OrientedCsr {
     }
 }
 
-/// Orient an in-memory graph into rank space.
-///
-/// Two passes, no per-list sorting: pass 1 counts each rank's oriented
-/// out-degree; pass 2 walks *target* ranks in ascending order and
-/// appends each arc to its source's bucket, so every out-list comes out
-/// sorted by construction (the classic counting-sort CSR transpose).
+/// Orient an in-memory graph into rank space, using every available
+/// core (see [`orient_csr_threads`]).
 pub fn orient_csr(g: &Graph) -> OrientedCsr {
+    orient_csr_threads(g, rayon::current_num_threads())
+}
+
+/// Orient an in-memory graph into rank space across `threads` cores.
+///
+/// Two strategies behind one deterministic output (byte-identical CSR
+/// either way, asserted by the thread-invariance test):
+///
+/// * **One core — branchless counting transpose.** A sequential count
+///   pass, then a scatter walking *target* ranks in ascending order so
+///   every out-list lands sorted with no sorting at all. Both passes
+///   are branchless: the keep test (`rank above mine`) holds for half
+///   the entries with no pattern, so conditional increments replace
+///   branches and discarded scatter writes land in a dummy slot via
+///   cmov. This is what bought back the PR 2 relabeling regression
+///   (`orient_csr_rmat10` 51.8 → 131 µs at PR 2; the branchless
+///   transpose runs the hot passes in roughly half that).
+/// * **Multiple cores — sharded gather.** Per-rank cursors make the
+///   transpose unshardable, so parallel runs gather instead: each
+///   contiguous *rank* range owns a contiguous, disjoint slice of the
+///   output CSR and gathers + sorts its own out-lists inside the rayon
+///   scope (the shim runs a real `std::thread::scope`), with an
+///   in-order concat at the end. The per-list sorts cost
+///   `O(Σ d* log d*)` — repaid by the missing second adjacency scan
+///   and the parallelism.
+pub fn orient_csr_threads(g: &Graph, threads: usize) -> OrientedCsr {
     let degrees = g.degrees();
     let map = RankMap::by_degree(&degrees);
     let ranks = map.ranks();
     let n = g.num_vertices();
+    let threads = threads.max(1).min(n.max(1) as usize);
 
-    let mut d_star = vec![0u32; n as usize];
-    for u in 0..n {
-        let ru = ranks[u as usize];
-        for &v in g.neighbors(u) {
-            if ru < ranks[v as usize] {
-                d_star[ru as usize] += 1;
-            }
-        }
-    }
+    // Rank-indexed original degrees double as the load model: scanning
+    // rank r costs deg(to_id(r)) neighbour visits.
+    let orig_degrees: Vec<u32> = (0..n).map(|r| degrees[map.to_id(r) as usize]).collect();
+
+    let (adj, d_star) = if threads == 1 {
+        orient_transpose(g, &map, ranks)
+    } else {
+        orient_gather_sharded(g, &map, ranks, &orig_degrees, threads)
+    };
     let offsets = offsets_from_degrees(&d_star);
     let d_star_max = d_star.iter().copied().max().unwrap_or(0);
 
-    let mut adj = vec![0u32; *offsets.last().unwrap() as usize];
-    let mut cursor: Vec<u64> = offsets[..n as usize].to_vec();
-    for rv in 0..n {
-        let v = map.to_id(rv);
-        for &w in g.neighbors(v) {
-            let rw = ranks[w as usize];
-            if rw < rv {
-                adj[cursor[rw as usize] as usize] = rv;
-                cursor[rw as usize] += 1;
-            }
-        }
-    }
-
-    let orig_degrees = (0..n).map(|r| degrees[map.to_id(r) as usize]).collect();
     OrientedCsr {
         offsets,
         adj,
@@ -141,6 +150,105 @@ pub fn orient_csr(g: &Graph) -> OrientedCsr {
         orig_degrees,
         d_star_max,
     }
+}
+
+/// Sequential branchless counting transpose: count pass in id order,
+/// scatter pass in ascending target-rank order (out-lists come out
+/// sorted by construction). Returns `(adj, d_star)` in rank space.
+fn orient_transpose(g: &Graph, map: &RankMap, ranks: &[u32]) -> (Vec<u32>, Vec<u32>) {
+    let n = g.num_vertices();
+
+    // Pass 1: oriented out-degree per source rank (sequential scan;
+    // each source rank is written exactly once — ranks are a bijection).
+    let mut d_star = vec![0u32; n as usize];
+    for u in 0..n {
+        let ru = ranks[u as usize];
+        let mut kept = 0u32;
+        for &w in g.neighbors(u) {
+            kept += u32::from(ranks[w as usize] > ru);
+        }
+        d_star[ru as usize] = kept;
+    }
+    let mut cursor: Vec<u64> = Vec::with_capacity(n as usize);
+    let mut acc = 0u64;
+    for &d in &d_star {
+        cursor.push(acc);
+        acc += d as u64;
+    }
+
+    // Pass 2: walk target ranks ascending; each kept arc appends its
+    // target to the source's bucket, so buckets fill in ascending
+    // order. Discarded writes go to the spare slot at `acc` via cmov,
+    // keeping the loop branch-free.
+    let dummy = acc as usize;
+    let mut adj = vec![0u32; acc as usize + 1];
+    for rv in 0..n {
+        let v = map.to_id(rv);
+        for &w in g.neighbors(v) {
+            let rw = ranks[w as usize] as usize;
+            let keep = (rw as u32) < rv;
+            let idx = if keep { cursor[rw] as usize } else { dummy };
+            // SAFETY: kept writes target `cursor[rw] < acc` (cursors
+            // advance once per kept arc, and pass 1 counted exactly
+            // `acc` of them); discarded writes target the spare slot
+            // `acc`. The buffer holds `acc + 1` values. (The bounds
+            // check is real money here: the loop runs 2|E| times.)
+            unsafe { *adj.get_unchecked_mut(idx) = rv };
+            cursor[rw] += u64::from(keep);
+        }
+    }
+    adj.truncate(acc as usize);
+    (adj, d_star)
+}
+
+/// Parallel sharded gather: each contiguous rank range gathers and
+/// sorts its own out-lists into its own slice. Returns
+/// `(adj, d_star)` in rank space, byte-identical to the transpose.
+fn orient_gather_sharded(
+    g: &Graph,
+    map: &RankMap,
+    ranks: &[u32],
+    orig_degrees: &[u32],
+    threads: usize,
+) -> (Vec<u32>, Vec<u32>) {
+    let scan_offsets = offsets_from_degrees(orig_degrees);
+
+    // Gather one rank range's sorted out-lists, branchlessly: store
+    // every rank image, advance the cursor only for kept ones.
+    let build = |(r0, r1): (u32, u32)| -> (Vec<u32>, Vec<u32>) {
+        let vol = (scan_offsets[r1 as usize] - scan_offsets[r0 as usize]) as usize;
+        let mut adj_part = vec![0u32; vol];
+        let mut d_part = Vec::with_capacity((r1 - r0) as usize);
+        let mut cur = 0usize;
+        for r in r0..r1 {
+            let v = map.to_id(r);
+            let start = cur;
+            for &w in g.neighbors(v) {
+                let rw = ranks[w as usize];
+                // SAFETY: `cur` counts kept entries, which never exceed
+                // the neighbour visits so far; the buffer holds the
+                // range's full degree volume, so `cur < vol` whenever a
+                // visit remains.
+                unsafe { *adj_part.get_unchecked_mut(cur) = rw };
+                cur += usize::from(rw > r);
+            }
+            sort_out_list(&mut adj_part[start..cur]);
+            d_part.push((cur - start) as u32);
+        }
+        adj_part.truncate(cur);
+        (adj_part, d_part)
+    };
+
+    let parts = vertex_partition(&scan_offsets, threads);
+    let built: Vec<(Vec<u32>, Vec<u32>)> = parts.par_iter().map(|&p| build(p)).collect();
+
+    let mut adj = Vec::with_capacity(g.num_edges() as usize);
+    let mut d_star = Vec::with_capacity(g.num_vertices() as usize);
+    for (adj_part, d_part) in built {
+        adj.extend_from_slice(&adj_part);
+        d_star.extend_from_slice(&d_part);
+    }
+    (adj, d_star)
 }
 
 /// An oriented graph stored on disk in PDTL format (rank space), plus
@@ -447,6 +555,27 @@ pub fn orient_to_disk(
     ))
 }
 
+/// Sort one gathered out-list. Oriented out-lists are short on average
+/// (`|E| / |V|` entries), where `sort_unstable`'s dispatch overhead
+/// costs more than the sort itself — inline insertion sort covers the
+/// common case, the general sort the heavy tail.
+#[inline]
+fn sort_out_list(s: &mut [u32]) {
+    if s.len() > 24 {
+        s.sort_unstable();
+        return;
+    }
+    for i in 1..s.len() {
+        let x = s[i];
+        let mut j = i;
+        while j > 0 && s[j - 1] > x {
+            s[j] = s[j - 1];
+            j -= 1;
+        }
+        s[j] = x;
+    }
+}
+
 /// Split vertices into `parts` contiguous ranges with roughly equal
 /// adjacency volume. Returns `(v_begin, v_end)` pairs covering `0..n`.
 pub fn vertex_partition(offsets: &[u64], parts: usize) -> Vec<(u32, u32)> {
@@ -500,6 +629,23 @@ mod tests {
         for g in [complete(8).unwrap(), wheel(9).unwrap(), rmat(7, 1).unwrap()] {
             let o = orient_csr(&g);
             assert_eq!(o.m_star(), g.num_edges(), "|E*| = |E|");
+        }
+    }
+
+    #[test]
+    fn csr_orientation_is_thread_count_invariant() {
+        // The sharded gather must produce bit-identical output for any
+        // core count (contiguous rank ranges, in-order concat).
+        for (g, tag) in [
+            (rmat(8, 2).unwrap(), "rmat"),
+            (star(50).unwrap(), "star"),
+            (Graph::empty(17), "empty"),
+        ] {
+            let reference = orient_csr_threads(&g, 1);
+            for threads in [2usize, 3, 8, 64] {
+                let o = orient_csr_threads(&g, threads);
+                assert_eq!(o, reference, "{tag} threads={threads}");
+            }
         }
     }
 

@@ -1,0 +1,130 @@
+//! The I/O backend selector shared by every stream consumer.
+//!
+//! PDTL's engines read graph files through the [`U32Source`] seam, which
+//! has three interchangeable implementations with identical accounting
+//! (`bytes_read` / `seeks` counted per block *touched*):
+//!
+//! * [`Blocking`](IoBackend::Blocking) — [`U32Reader`], one synchronous
+//!   `read(2)` per block. The reference implementation the other two are
+//!   asserted against.
+//! * [`Prefetch`](IoBackend::Prefetch) — [`PrefetchReader`] +
+//!   `ChunkPrefetcher`, background threads keep blocks read ahead so
+//!   device waits hide behind compute. Wins when reads actually block
+//!   (cold cache, emulated latency), costs a copy + synchronisation when
+//!   they don't.
+//! * [`Mmap`](IoBackend::Mmap) — [`MmapSource`], the file mapped into
+//!   the address space and served zero-copy. Wins on page-cache-resident
+//!   graphs where every `read(2)` copy is pure overhead; falls back to
+//!   `Blocking` on platforms without the mapping syscalls.
+//!
+//! [`U32Source`]: crate::U32Source
+//! [`U32Reader`]: crate::U32Reader
+//! [`PrefetchReader`]: crate::PrefetchReader
+//! [`MmapSource`]: crate::MmapSource
+
+/// Which [`U32Source`](crate::U32Source) implementation an engine
+/// streams its graph files through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum IoBackend {
+    /// Synchronous buffered reads ([`U32Reader`](crate::U32Reader)).
+    Blocking,
+    /// Background read-ahead ([`PrefetchReader`](crate::PrefetchReader)
+    /// for scans, `ChunkPrefetcher` for chunk loads).
+    #[default]
+    Prefetch,
+    /// Zero-copy memory mapping ([`MmapSource`](crate::MmapSource));
+    /// resolves to `Blocking` where mapping is unsupported.
+    Mmap,
+}
+
+/// Environment variable overriding the default backend
+/// (`blocking` | `prefetch` | `mmap`, case-insensitive). Consumed by
+/// `MgtOptions::default`, which is how the CI test matrix runs the
+/// whole suite under each backend without touching any call site.
+pub const BACKEND_ENV: &str = "PDTL_IO_BACKEND";
+
+impl IoBackend {
+    /// Every backend, in wire-discriminant order.
+    pub const ALL: [IoBackend; 3] = [IoBackend::Blocking, IoBackend::Prefetch, IoBackend::Mmap];
+
+    /// Stable lowercase name (bench row / CLI / env spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            IoBackend::Blocking => "blocking",
+            IoBackend::Prefetch => "prefetch",
+            IoBackend::Mmap => "mmap",
+        }
+    }
+
+    /// Parse a backend name, case-insensitively.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "blocking" => Some(IoBackend::Blocking),
+            "prefetch" => Some(IoBackend::Prefetch),
+            "mmap" => Some(IoBackend::Mmap),
+            _ => None,
+        }
+    }
+
+    /// The backend selected by [`BACKEND_ENV`], if set and valid.
+    pub fn from_env() -> Option<Self> {
+        std::env::var(BACKEND_ENV)
+            .ok()
+            .and_then(|v| Self::parse(&v))
+    }
+
+    /// The default backend, honouring the environment override:
+    /// [`Prefetch`](IoBackend::Prefetch) unless [`BACKEND_ENV`] names
+    /// another one.
+    pub fn default_from_env() -> Self {
+        Self::from_env().unwrap_or(IoBackend::Prefetch)
+    }
+
+    /// Resolve to a backend the current platform can actually run:
+    /// [`Mmap`](IoBackend::Mmap) degrades to
+    /// [`Blocking`](IoBackend::Blocking) where the mapping syscalls are
+    /// unavailable; the other two are always supported.
+    pub fn resolve(self) -> Self {
+        if self == IoBackend::Mmap && !crate::mmap::mmap_supported() {
+            IoBackend::Blocking
+        } else {
+            self
+        }
+    }
+}
+
+impl std::fmt::Display for IoBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for b in IoBackend::ALL {
+            assert_eq!(IoBackend::parse(b.name()), Some(b));
+            assert_eq!(IoBackend::parse(&b.name().to_uppercase()), Some(b));
+        }
+        assert_eq!(IoBackend::parse("io_uring"), None);
+    }
+
+    #[test]
+    fn default_is_prefetch() {
+        assert_eq!(IoBackend::default(), IoBackend::Prefetch);
+    }
+
+    #[test]
+    fn resolve_never_yields_unsupported_mmap() {
+        let r = IoBackend::Mmap.resolve();
+        assert!(r == IoBackend::Mmap || r == IoBackend::Blocking);
+        if crate::mmap::mmap_supported() {
+            assert_eq!(r, IoBackend::Mmap);
+        }
+        assert_eq!(IoBackend::Blocking.resolve(), IoBackend::Blocking);
+        assert_eq!(IoBackend::Prefetch.resolve(), IoBackend::Prefetch);
+    }
+}

@@ -15,8 +15,11 @@
 //!   over files, the unit of every PDTL graph file (`.deg` / `.adj`).
 //! * [`PrefetchReader`] / [`ChunkPrefetcher`] — overlapped (read-ahead)
 //!   variants that hide disk latency behind compute while counting the
-//!   exact same bytes and seeks, so `overlap_io` ablations compare pure
+//!   exact same bytes and seeks, so backend ablations compare pure
 //!   scheduling, not different I/O plans.
+//! * [`MmapSource`] — a zero-copy memory-mapped [`U32Source`] for
+//!   page-cache-resident graphs, again with byte-identical accounting;
+//!   [`IoBackend`] selects between the three behind one seam.
 //! * [`external_sort_u64`] — a counted external merge sort used to bring
 //!   raw edge lists into the sorted PDTL format.
 //! * [`MemoryBudget`] — the per-processor memory parameter `M` (in edges)
@@ -25,19 +28,23 @@
 //!   network bytes) into deterministic *modeled seconds*, which is how the
 //!   scaling experiments reproduce the paper's curves on arbitrary hosts.
 
+pub mod backend;
 pub mod budget;
 pub mod cost;
 pub mod error;
 pub mod extsort;
+pub mod mmap;
 pub mod prefetch;
 pub mod stats;
 pub mod stream;
 pub mod timer;
 
+pub use backend::{IoBackend, BACKEND_ENV};
 pub use budget::MemoryBudget;
 pub use cost::{CostModel, ModeledTime};
 pub use error::{IoError, Result};
 pub use extsort::{external_sort_u64, merge_sorted_files};
+pub use mmap::{mmap_supported, MmapSource};
 pub use prefetch::{ChunkPrefetcher, PrefetchReader};
 pub use stats::IoStats;
 pub use stream::{U32Reader, U32Source, U32Writer, BYTES_PER_U32};

@@ -24,8 +24,8 @@
 //! prefetched block is charged when the consumer takes it (a blocking
 //! reader charges the equivalent refill), and read-ahead blocks
 //! discarded by a reposition are never charged. The integration tests
-//! assert this byte-for-byte, which is what makes `overlap_io` a pure
-//! scheduling change rather than a different I/O plan.
+//! assert this byte-for-byte, which is what makes `IoBackend::Prefetch`
+//! a pure scheduling change rather than a different I/O plan.
 //!
 //! One deliberate asymmetry: `io_time` measures *device activity*
 //! (each consumed block is charged its producer-side read duration,

@@ -29,8 +29,10 @@ use crate::stats::IoStats;
 /// Size of one encoded `u32` in the on-disk format.
 pub const BYTES_PER_U32: u64 = 4;
 
-/// Default stream buffer: one 64 KiB block.
-const DEFAULT_BUF_U32S: usize = 16 * 1024;
+/// Default stream buffer: one 64 KiB block. Shared with
+/// [`MmapSource`](crate::MmapSource) so backends account in identical
+/// block units by default.
+pub(crate) const DEFAULT_BUF_U32S: usize = 16 * 1024;
 
 /// A buffered reader of little-endian `u32`s with I/O accounting.
 #[derive(Debug)]

@@ -1,0 +1,175 @@
+//! Cross-backend accounting contract of the [`U32Source`] seam.
+//!
+//! The three backends — blocking [`U32Reader`], read-ahead
+//! [`PrefetchReader`], zero-copy [`MmapSource`] — must yield
+//! byte-identical `u32` streams, identical final positions, and
+//! identical `bytes_read`/`seeks` for *any* access pattern (reads,
+//! short and long skips, seeks — all clamped at end of file), at any
+//! block size, on any file length including empty. The property test
+//! drives randomized patterns; the explicit tests pin the EOF-clamp and
+//! empty-file edges the buffered path fixed in PR 3.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::prelude::*;
+
+use pdtl_io::{
+    mmap_supported, IoStats, MmapSource, PrefetchReader, U32Reader, U32Source, U32Writer,
+};
+
+static UNIQ: AtomicU64 = AtomicU64::new(0);
+
+fn write_fixture(vals: &[u32]) -> PathBuf {
+    let dir = std::env::temp_dir().join("pdtl-source-parity");
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = dir.join(format!(
+        "f-{}-{}",
+        std::process::id(),
+        UNIQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let mut w = U32Writer::create(&p, IoStats::new()).unwrap();
+    w.write_all(vals).unwrap();
+    w.finish().unwrap();
+    p
+}
+
+/// One step of an access pattern: `kind % 3` selects read / skip /
+/// seek, `amount` the count or target (often past EOF, exercising the
+/// clamps).
+fn drive(src: &mut impl U32Source, ops: &[(u8, u64)]) -> (Vec<u32>, u64) {
+    let mut out = Vec::new();
+    for &(kind, amount) in ops {
+        match kind % 3 {
+            0 => {
+                src.read_into(&mut out, amount as usize % 5000).unwrap();
+            }
+            1 => src.skip(amount).unwrap(),
+            _ => src.seek_to(amount).unwrap(),
+        }
+    }
+    (out, src.position())
+}
+
+/// Run the pattern through one backend, returning
+/// `(stream, position, bytes_read, seeks, read_ops)`.
+type Trace = (Vec<u32>, u64, u64, u64, u64);
+
+fn trace_backend(which: &str, path: &PathBuf, block: usize, ops: &[(u8, u64)]) -> Trace {
+    let stats = IoStats::new();
+    let (out, pos) = match which {
+        "blocking" => {
+            let mut r = U32Reader::with_buffer(path, stats.clone(), block).unwrap();
+            drive(&mut r, ops)
+        }
+        "prefetch" => {
+            let mut r =
+                PrefetchReader::new(U32Reader::with_buffer(path, stats.clone(), block).unwrap())
+                    .unwrap();
+            drive(&mut r, ops)
+        }
+        "mmap" => {
+            let mut m = MmapSource::with_block(path, stats.clone(), block).unwrap();
+            drive(&mut m, ops)
+        }
+        other => panic!("unknown backend {other}"),
+    };
+    (
+        out,
+        pos,
+        stats.bytes_read(),
+        stats.seeks(),
+        stats.read_ops(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn backends_yield_identical_streams_and_accounting(
+        len in 0usize..30_000,
+        block in 1usize..1500,
+        ops in prop::collection::vec((0u8..6, 0u64..40_000), 0..32),
+    ) {
+        if !mmap_supported() {
+            return Ok(());
+        }
+        let vals: Vec<u32> = (0..len as u32).map(|i| i.wrapping_mul(2_654_435_761)).collect();
+        let path = write_fixture(&vals);
+
+        let (b_out, b_pos, b_bytes, b_seeks, b_ops) =
+            trace_backend("blocking", &path, block, &ops);
+        for which in ["prefetch", "mmap"] {
+            let (out, pos, bytes, seeks, read_ops) = trace_backend(which, &path, block, &ops);
+            prop_assert_eq!(&out, &b_out);
+            prop_assert_eq!(pos, b_pos);
+            prop_assert_eq!(bytes, b_bytes);
+            prop_assert_eq!(seeks, b_seeks);
+            if which == "mmap" {
+                // The mmap source mirrors the blocking reader refill
+                // for refill; the prefetcher's op granularity
+                // legitimately differs at EOF (it never issues the
+                // empty read).
+                prop_assert_eq!(read_ops, b_ops);
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn eof_clamp_edges_agree_across_backends() {
+    // The PR 3 regression shape: seek past EOF, then read; skip
+    // u64::MAX; read at exactly EOF. Every backend must clamp the same
+    // way and count the same I/O.
+    if !mmap_supported() {
+        return;
+    }
+    let vals: Vec<u32> = (0..1000).collect();
+    let path = write_fixture(&vals);
+    let ops: Vec<(u8, u64)> = vec![
+        (2, 1_000_000), // seek far past EOF: clamps to len
+        (0, 10),        // read at EOF: nothing
+        (2, 990),       // seek near the end
+        (0, 100),       // read the 10-value tail
+        (1, u64::MAX),  // skip clamps
+        (2, 0),         // rewind
+        (1, 999),       // skip to the last value
+        (0, 5),         // read it
+    ];
+    let reference = trace_backend("blocking", &path, 64, &ops);
+    assert_eq!(
+        &reference.0[reference.0.len() - 1..],
+        &[999],
+        "sanity: the pattern ends on the last value"
+    );
+    for which in ["prefetch", "mmap"] {
+        let got = trace_backend(which, &path, 64, &ops);
+        assert_eq!(got.0, reference.0, "{which}: stream");
+        assert_eq!(got.1, reference.1, "{which}: position");
+        assert_eq!(got.2, reference.2, "{which}: bytes_read");
+        assert_eq!(got.3, reference.3, "{which}: seeks");
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn empty_file_edges_agree_across_backends() {
+    if !mmap_supported() {
+        return;
+    }
+    let path = write_fixture(&[]);
+    let ops: Vec<(u8, u64)> = vec![(0, 10), (2, 5), (1, u64::MAX), (0, 1)];
+    let reference = trace_backend("blocking", &path, 16, &ops);
+    assert!(reference.0.is_empty());
+    assert_eq!(reference.1, 0, "position clamps to the empty length");
+    for which in ["prefetch", "mmap"] {
+        let got = trace_backend(which, &path, 16, &ops);
+        assert_eq!(got.0, reference.0, "{which}: stream");
+        assert_eq!(got.1, reference.1, "{which}: position");
+        assert_eq!(got.2, reference.2, "{which}: bytes_read");
+        assert_eq!(got.3, reference.3, "{which}: seeks");
+    }
+    let _ = std::fs::remove_file(&path);
+}

@@ -7,10 +7,10 @@
 //! ```
 
 use pdtl::cluster::{ClusterConfig, ClusterRunner, NetModel};
-use pdtl::core::theory;
+use pdtl::core::{theory, MgtOptions};
 use pdtl::graph::datasets::Dataset;
 use pdtl::graph::DiskGraph;
-use pdtl::io::{CostModel, IoStats, MemoryBudget};
+use pdtl::io::{CostModel, IoBackend, IoStats, MemoryBudget};
 
 fn main() {
     let graph = Dataset::Rmat(11).build().expect("generate");
@@ -28,7 +28,13 @@ fn main() {
         listing: false,
         net: NetModel::default(),
         transport: Default::default(),
-        mgt: Default::default(),
+        // Real cluster nodes stream cold replicas from disk, where the
+        // read-ahead backend hides device waits; the choice ships to
+        // every worker in its wire WorkerConfig.
+        mgt: MgtOptions {
+            backend: IoBackend::Prefetch,
+            ..MgtOptions::default()
+        },
     })
     .expect("config");
     let report = runner.run(&input, &dir).expect("run");

@@ -6,10 +6,10 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use pdtl::core::{theory, BalanceStrategy, LocalConfig, LocalRunner};
+use pdtl::core::{theory, BalanceStrategy, LocalConfig, LocalRunner, MgtOptions};
 use pdtl::graph::datasets::Dataset;
 use pdtl::graph::{DiskGraph, GraphStats};
-use pdtl::io::{CostModel, IoStats, MemoryBudget};
+use pdtl::io::{CostModel, IoBackend, IoStats, MemoryBudget};
 
 fn main() {
     // 1. A scaled Twitter-like power-law graph (the paper's flagship
@@ -32,11 +32,17 @@ fn main() {
 
     // 3. Count with 4 cores and a deliberately tiny memory budget —
     //    external memory means the budget barely matters.
+    //    A just-generated graph sits in the page cache, so the
+    //    zero-copy mmap backend is the right pick (it degrades to
+    //    blocking reads automatically where mapping is unsupported).
     let runner = LocalRunner::new(LocalConfig {
         cores: 4,
         budget: MemoryBudget::edges(8 << 10),
         balance: BalanceStrategy::InDegree,
-        ..Default::default()
+        mgt: MgtOptions {
+            backend: IoBackend::Mmap,
+            ..MgtOptions::default()
+        },
     })
     .expect("config");
     let report = runner.run(&input, &dir).expect("run");

@@ -20,6 +20,8 @@ pub trait Buf {
     fn advance(&mut self, n: usize);
     /// Consume one byte.
     fn get_u8(&mut self) -> u8;
+    /// Consume a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16;
     /// Consume a little-endian `u32`.
     fn get_u32_le(&mut self) -> u32;
     /// Consume a little-endian `u64`.
@@ -32,6 +34,8 @@ pub trait Buf {
 pub trait BufMut {
     /// Append one byte.
     fn put_u8(&mut self, v: u8);
+    /// Append a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16);
     /// Append a little-endian `u32`.
     fn put_u32_le(&mut self, v: u32);
     /// Append a little-endian `u64`.
@@ -173,6 +177,12 @@ impl Buf for Bytes {
         v
     }
 
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
     fn get_u32_le(&mut self) -> u32 {
         let mut b = [0u8; 4];
         self.copy_to_slice(&mut b);
@@ -240,6 +250,10 @@ impl BufMut for BytesMut {
         self.data.push(v);
     }
 
+    fn put_u16_le(&mut self, v: u16) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
     fn put_u32_le(&mut self, v: u32) {
         self.data.extend_from_slice(&v.to_le_bytes());
     }
@@ -261,12 +275,14 @@ mod tests {
     fn write_freeze_read_round_trip() {
         let mut b = BytesMut::new();
         b.put_u8(7);
+        b.put_u16_le(0xBEAD);
         b.put_u32_le(0xDEAD_BEEF);
         b.put_u64_le(42);
         b.put_slice(b"hi");
         let mut frozen = b.freeze();
-        assert_eq!(frozen.len(), 1 + 4 + 8 + 2);
+        assert_eq!(frozen.len(), 1 + 2 + 4 + 8 + 2);
         assert_eq!(frozen.get_u8(), 7);
+        assert_eq!(frozen.get_u16_le(), 0xBEAD);
         assert_eq!(frozen.get_u32_le(), 0xDEAD_BEEF);
         assert_eq!(frozen.get_u64_le(), 42);
         let tail = frozen.split_to(2);

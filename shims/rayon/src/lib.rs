@@ -24,12 +24,18 @@ thread_local! {
     static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
 }
 
-/// Number of threads terminal operations will use.
+/// Number of threads terminal operations will use. The machine's
+/// parallelism is cached: `available_parallelism` re-reads
+/// cgroup/affinity state on every call (tens of microseconds on Linux),
+/// which real rayon also avoids by sizing its pool once.
 pub fn current_num_threads() -> usize {
+    static MACHINE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
     POOL_THREADS.with(|t| t.get()).unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+        *MACHINE.get_or_init(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
     })
 }
 

@@ -7,10 +7,10 @@
 //! * `import <edges.txt> <out-base>` — convert a SNAP text edge list;
 //! * `export <base> <edges.txt>` — write a graph back to text;
 //! * `stats <base>` — print the Table-I row of a graph;
-//! * `count <base> [--cores p] [--memory edges] [--naive]` — multicore
-//!   exact count;
-//! * `cluster <base> [--nodes n] [--cores p] [--memory edges] [--tcp]` —
-//!   distributed exact count;
+//! * `count <base> [--cores p] [--memory edges] [--naive]
+//!   [--backend blocking|prefetch|mmap]` — multicore exact count;
+//! * `cluster <base> [--nodes n] [--cores p] [--memory edges] [--tcp]
+//!   [--backend b]` — distributed exact count;
 //! * `list <base> <out.bin> [--cores p]` — triangle listing to file.
 //!
 //! Parsing is kept dependency-free and fully unit-tested; the binary is
@@ -19,10 +19,11 @@
 use std::path::{Path, PathBuf};
 
 use pdtl_cluster::{ClusterConfig, ClusterRunner, TransportKind};
+use pdtl_core::mgt::MgtOptions;
 use pdtl_core::{BalanceStrategy, LocalConfig, LocalRunner};
 use pdtl_graph::datasets::Dataset;
 use pdtl_graph::{DiskGraph, GraphStats};
-use pdtl_io::{IoStats, MemoryBudget};
+use pdtl_io::{IoBackend, IoStats, MemoryBudget};
 
 /// A parsed command.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,6 +66,8 @@ pub enum Command {
         memory: usize,
         /// Use the naive equal-edges split.
         naive: bool,
+        /// I/O backend override (`None` = default / `PDTL_IO_BACKEND`).
+        backend: Option<IoBackend>,
     },
     /// Distributed count.
     Cluster {
@@ -78,6 +81,8 @@ pub enum Command {
         memory: usize,
         /// Use TCP transport.
         tcp: bool,
+        /// I/O backend override (`None` = default / `PDTL_IO_BACKEND`).
+        backend: Option<IoBackend>,
     },
     /// Triangle listing to a binary file.
     List {
@@ -126,6 +131,15 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             Some(v) => v.parse().map_err(|_| format!("bad --{key}: {v:?}")),
         }
     };
+    let get_backend =
+        |flags: &std::collections::HashMap<String, String>| -> Result<Option<IoBackend>, String> {
+            match flags.get("backend") {
+                None => Ok(None),
+                Some(v) => IoBackend::parse(v)
+                    .map(Some)
+                    .ok_or(format!("bad --backend: {v:?} (blocking|prefetch|mmap)")),
+            }
+        };
     let cmd = pos.first().ok_or(USAGE.to_string())?.as_str();
     let need = |i: usize, what: &str| -> Result<PathBuf, String> {
         pos.get(i)
@@ -160,6 +174,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             cores: get_usize(&flags, "cores", 4)?,
             memory: get_usize(&flags, "memory", 1 << 20)?,
             naive: bools.contains("naive"),
+            backend: get_backend(&flags)?,
         }),
         "cluster" => Ok(Command::Cluster {
             base: need(1, "input base")?,
@@ -167,6 +182,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             cores: get_usize(&flags, "cores", 2)?,
             memory: get_usize(&flags, "memory", 1 << 20)?,
             tcp: bools.contains("tcp"),
+            backend: get_backend(&flags)?,
         }),
         "list" => Ok(Command::List {
             base: need(1, "input base")?,
@@ -266,8 +282,13 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String> {
             cores,
             memory,
             naive,
+            backend,
         } => {
             let dg = DiskGraph::open(&base, &stats).map_err(|e| fail(&e))?;
+            let mut mgt = MgtOptions::default();
+            if let Some(b) = backend {
+                mgt.backend = b;
+            }
             let runner = LocalRunner::new(LocalConfig {
                 cores,
                 budget: MemoryBudget::edges(memory),
@@ -276,7 +297,7 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String> {
                 } else {
                     BalanceStrategy::InDegree
                 },
-                ..Default::default()
+                mgt,
             })
             .map_err(|e| fail(&e))?;
             let dir = work_dir(&base, "count");
@@ -298,8 +319,13 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String> {
             cores,
             memory,
             tcp,
+            backend,
         } => {
             let dg = DiskGraph::open(&base, &stats).map_err(|e| fail(&e))?;
+            let mut mgt = MgtOptions::default();
+            if let Some(b) = backend {
+                mgt.backend = b;
+            }
             let runner = ClusterRunner::new(ClusterConfig {
                 nodes,
                 cores_per_node: cores,
@@ -309,6 +335,7 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String> {
                 } else {
                     TransportKind::InProc
                 },
+                mgt,
                 ..Default::default()
             })
             .map_err(|e| fail(&e))?;
@@ -398,7 +425,8 @@ mod tests {
                 base: "/tmp/g".into(),
                 cores: 8,
                 memory: 4096,
-                naive: true
+                naive: true,
+                backend: None
             }
         );
     }
@@ -413,9 +441,34 @@ mod tests {
                 nodes: 2,
                 cores: 2,
                 memory: 1 << 20,
-                tcp: false
+                tcp: false,
+                backend: None
             }
         );
+    }
+
+    #[test]
+    fn parses_backend_flag() {
+        for (name, backend) in [
+            ("blocking", IoBackend::Blocking),
+            ("prefetch", IoBackend::Prefetch),
+            ("MMAP", IoBackend::Mmap),
+        ] {
+            let cmd = parse(&args(&format!("count /tmp/g --backend {name}"))).unwrap();
+            let Command::Count { backend: got, .. } = cmd else {
+                panic!("expected Count");
+            };
+            assert_eq!(got, Some(backend), "{name}");
+        }
+        let cmd = parse(&args("cluster /tmp/g --backend mmap")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Cluster {
+                backend: Some(IoBackend::Mmap),
+                ..
+            }
+        ));
+        assert!(parse(&args("count /tmp/g --backend io_uring")).is_err());
     }
 
     #[test]
@@ -456,6 +509,7 @@ mod tests {
                 cores: 2,
                 memory: 1024,
                 naive: false,
+                backend: Some(IoBackend::Mmap),
             },
             &mut out,
         )
@@ -492,6 +546,7 @@ mod tests {
                 cores: 2,
                 memory: 512,
                 tcp: false,
+                backend: None,
             },
             &mut out,
         )

@@ -7,10 +7,11 @@
 //! rank-space relabeling plus sink-side id translation preserves the
 //! paper's output contract.
 //!
-//! The `overlap_io` dimension additionally pins down the overlap
-//! contract: an overlapped run must report the *same* triangle count
-//! and the *same* per-worker `bytes_read` total as its blocking twin —
-//! overlapping is a scheduling change, not a different I/O plan.
+//! The I/O-backend dimension additionally pins down the backend
+//! contract: a prefetching or memory-mapped run must report the *same*
+//! triangle count and the *same* per-worker `bytes_read` total as its
+//! blocking twin — the backend is a scheduling/copy choice, not a
+//! different I/O plan.
 
 use pdtl::core::{BalanceStrategy, DegreeOrder, LocalConfig, LocalRunner, MgtOptions};
 use pdtl::graph::gen::chunglu::{chung_lu, power_law_weights};
@@ -18,6 +19,7 @@ use pdtl::graph::gen::rmat::rmat;
 use pdtl::graph::gen::rng::SplitMix64;
 use pdtl::graph::verify::triangle_list;
 use pdtl::graph::{DiskGraph, Graph};
+use pdtl::io::IoBackend;
 use pdtl::io::{IoStats, MemoryBudget};
 
 fn tmpdir(name: &str) -> std::path::PathBuf {
@@ -54,24 +56,24 @@ fn assert_pipeline_matches_oracle(g: &Graph, tag: &str) {
     for budget in [2usize, 32, 4096] {
         for cores in [1usize, 3, 8] {
             for strategy in [BalanceStrategy::EqualEdges, BalanceStrategy::InDegree] {
-                // Overlapped first, then its blocking twin: both must
-                // match the oracle *and* each other's I/O accounting.
+                // Every backend must match the oracle *and* the others'
+                // I/O accounting (the first run is the twin reference).
                 let mut twin: Option<(u64, u64)> = None;
-                for overlap in [true, false] {
+                for backend in IoBackend::ALL {
                     let runner = LocalRunner::new(LocalConfig {
                         cores,
                         budget: MemoryBudget::edges(budget),
                         balance: strategy,
                         mgt: MgtOptions {
-                            overlap_io: overlap,
+                            backend,
                             ..MgtOptions::default()
                         },
                     })
                     .unwrap();
-                    let dir = tmpdir(&format!("{tag}-{budget}-{cores}-{strategy:?}-{overlap}"));
+                    let dir = tmpdir(&format!("{tag}-{budget}-{cores}-{strategy:?}-{backend}"));
                     let (report, triples) = runner.run_listing(&input, &dir).unwrap();
                     let label = format!(
-                        "{tag} budget={budget} cores={cores} {strategy:?} overlap={overlap}"
+                        "{tag} budget={budget} cores={cores} {strategy:?} backend={backend}"
                     );
 
                     assert_eq!(report.triangles as usize, triples.len(), "{label}");
@@ -96,8 +98,7 @@ fn assert_pipeline_matches_oracle(g: &Graph, tag: &str) {
                             assert_eq!(report.triangles, t, "{label}: twin triangle count");
                             assert_eq!(
                                 bytes_read, b,
-                                "{label}: overlapped and blocking twins must read \
-                                 identical bytes"
+                                "{label}: every backend must read identical bytes"
                             );
                         }
                     }
