@@ -175,7 +175,9 @@ pub fn run_kernel_benches() -> Vec<BenchResult> {
     }));
 
     // disk-MGT backend ablation (RMAT-12, multi-pass budget): warm page
-    // cache and emulated-latency device, one row per I/O backend.
+    // cache and emulated-latency device, one row per I/O backend
+    // (including uring, which degrades to prefetch where unavailable —
+    // the row then measures the fallback, like production would).
     let dir = std::env::temp_dir().join(format!("pdtl-kernelbench-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("bench scratch dir");
     {
@@ -283,12 +285,12 @@ mod tests {
     fn suite_runs_and_serialises() {
         std::env::set_var("PDTL_BENCH_MS", "1");
         let results = run_kernel_benches();
-        assert!(results.len() >= 23, "expected the full kernel set");
+        assert!(results.len() >= 25, "expected the full kernel set");
         assert!(results.iter().all(|r| r.mean_ns > 0.0 && r.iters > 0));
         let json = to_json(&results);
         assert!(json.starts_with('{') && json.ends_with("}\n"));
         assert!(json.contains("\"mgt_in_memory/budget_2048\""));
-        for backend in ["blocking", "prefetch", "mmap"] {
+        for backend in ["blocking", "prefetch", "mmap", "uring"] {
             assert!(json.contains(&format!("\"mgt_disk/backend_{backend}\"")));
             assert!(json.contains(&format!("\"mgt_disk_simlat50us/backend_{backend}\"")));
         }

@@ -42,17 +42,24 @@ pub struct WorkerConfig {
 /// Wire flag bits of [`WorkerConfig`].
 const FLAG_SCAN_PRUNING: u8 = 1;
 /// Bits 1–2 of the flags byte: the [`IoBackend`] discriminant
-/// (`0 = Blocking`, `1 = Prefetch`, `2 = Mmap`). PR 3 used bit 1 as a
-/// bare `overlap_io` flag, which this mapping subsumes: old
-/// `overlap_io = true` bytes decode as `Prefetch`, `false` as
-/// `Blocking`.
+/// (`0 = Blocking`, `1 = Prefetch`, `2 = Mmap`, `3 = Uring`). PR 3
+/// used bit 1 as a bare `overlap_io` flag, which this mapping
+/// subsumes: old `overlap_io = true` bytes decode as `Prefetch`,
+/// `false` as `Blocking`. PR 4 reserved discriminant 3, which its
+/// decoders degrade to the default backend — an old node handed a
+/// `Uring` config therefore runs, it just overlaps with threads
+/// instead of kernel queues. The 2-bit field is now full: a fifth
+/// backend must claim a fresh field in the length-prefixed record
+/// tail (which old decoders skip), not grow this one.
 const BACKEND_SHIFT: u8 = 1;
 const BACKEND_MASK: u8 = 0b110;
 
 impl WorkerConfig {
     /// Known record bytes: `start` + `end` + `budget_edges` (u64 each),
-    /// flags (u8), `io_latency_us` (u32).
-    const WIRE_LEN: usize = 8 + 8 + 8 + 1 + 4;
+    /// flags (u8), `io_latency_us` (u32). Newer encoders may append
+    /// fields after these; the length prefix tells decoders how much
+    /// to skip.
+    pub const WIRE_LEN: usize = 8 + 8 + 8 + 1 + 4;
 
     /// Pack the engine flags into the wire byte.
     fn flags(&self) -> u8 {
@@ -60,18 +67,20 @@ impl WorkerConfig {
             IoBackend::Blocking => 0u8,
             IoBackend::Prefetch => 1,
             IoBackend::Mmap => 2,
+            IoBackend::Uring => 3,
         };
         u8::from(self.scan_pruning) * FLAG_SCAN_PRUNING + (backend << BACKEND_SHIFT)
     }
 
-    /// Unpack the backend discriminant; an unknown (future) value
-    /// degrades to the default backend rather than failing the decode.
+    /// Unpack the backend discriminant. Every value of the 2-bit field
+    /// is now assigned; platforms that cannot serve a decoded backend
+    /// degrade at `IoBackend::resolve` time in the engine, never here.
     fn backend_from_flags(flags: u8) -> IoBackend {
         match (flags & BACKEND_MASK) >> BACKEND_SHIFT {
             0 => IoBackend::Blocking,
             1 => IoBackend::Prefetch,
             2 => IoBackend::Mmap,
-            _ => IoBackend::default(),
+            _ => IoBackend::Uring,
         }
     }
 
@@ -420,6 +429,14 @@ mod tests {
                     backend: IoBackend::Mmap,
                     io_latency_us: 7,
                 },
+                WorkerConfig {
+                    start: 300,
+                    end: 420,
+                    budget_edges: 50,
+                    scan_pruning: true,
+                    backend: IoBackend::Uring,
+                    io_latency_us: 0,
+                },
             ],
             listing: true,
         };
@@ -507,14 +524,42 @@ mod tests {
     }
 
     #[test]
-    fn unknown_future_backend_degrades_to_default() {
-        // Discriminant 3 is unassigned (a future backend, e.g.
-        // io_uring): decoding must not fail, it falls back to the
-        // default backend.
-        assert_eq!(
-            WorkerConfig::backend_from_flags(0b110),
-            IoBackend::default()
-        );
+    fn backend_discriminants_cover_the_two_bit_field() {
+        // PR 4 reserved discriminant 3 and degraded it to the default
+        // backend; it now names Uring, so decoding wire bytes written
+        // by a newer (uring-aware) encoder yields Uring here — while
+        // the old decoder's degradation path keeps those same bytes
+        // runnable on PR 4-era nodes. The field is full: growing it
+        // would reinterpret old flag bytes, so a fifth backend must use
+        // the record tail.
+        assert_eq!(WorkerConfig::backend_from_flags(0b000), IoBackend::Blocking);
+        assert_eq!(WorkerConfig::backend_from_flags(0b010), IoBackend::Prefetch);
+        assert_eq!(WorkerConfig::backend_from_flags(0b100), IoBackend::Mmap);
+        assert_eq!(WorkerConfig::backend_from_flags(0b110), IoBackend::Uring);
+        // scan_pruning (bit 0) never bleeds into the backend field.
+        assert_eq!(WorkerConfig::backend_from_flags(0b111), IoBackend::Uring);
+        assert_eq!(WorkerConfig::backend_from_flags(0b001), IoBackend::Blocking);
+    }
+
+    #[test]
+    fn uring_config_round_trips_through_the_wire() {
+        // The discriminant-3 encoding decodes bit-exactly, alongside
+        // the forward-compat record-tail skip.
+        let cfg = WorkerConfig {
+            start: 7,
+            end: 900,
+            budget_edges: 4096,
+            scan_pruning: false,
+            backend: IoBackend::Uring,
+            io_latency_us: 50,
+        };
+        let mut b = BytesMut::new();
+        cfg.encode_record(&mut b);
+        let encoded = b.freeze();
+        // flags byte: backend 3 in bits 1-2, pruning bit clear
+        assert_eq!(encoded[2 + 24], 0b110);
+        let mut buf = encoded;
+        assert_eq!(WorkerConfig::decode_record(&mut buf).unwrap(), cfg);
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub fn intersect_visit(a: &[u32], b: &[u32], visit: impl FnMut(u32)) -> u64 {
 ///
 /// Dispatches on length ratio: tightly interleaved (near-equal-length)
 /// inputs take the branch-predictable three-way merge, skewed inputs
-/// take the advance-loop merge (see [`ADVANCE_RATIO`]). Both are
+/// take the advance-loop merge (see `ADVANCE_RATIO`). Both are
 /// `O(|a| + |b|)` with at most `2(|a| + |b|)` counted comparisons and
 /// produce identical output (property-tested).
 #[inline]

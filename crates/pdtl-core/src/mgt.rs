@@ -42,6 +42,12 @@
 //!   the mapped region, so chunk "loads" become pointer arithmetic plus
 //!   accounting — the fastest backend when the graph sits in the page
 //!   cache. Unsupported platforms degrade to `Blocking` automatically.
+//! * [`IoBackend::Uring`] drives the same overlap through the kernel
+//!   instead of threads: block reads are queued on an `io_uring`
+//!   submission queue with depth > 1 ([`pdtl_io::UringSource`]), so the
+//!   next chunk and the scan read-ahead complete asynchronously while
+//!   the engine computes — no producer threads, no hand-off copies.
+//!   Kernels without `io_uring` degrade to `Prefetch` automatically.
 //! * [`IoBackend::Blocking`] is the PR 2 synchronous behaviour, kept as
 //!   the accounting reference and ablation baseline.
 //!
@@ -49,7 +55,7 @@
 //! the exact same `bytes_read` and `seeks` whichever backend runs,
 //! which the integration and property tests assert. Device waits can be
 //! recreated deterministically on warm page caches via
-//! [`MgtOptions::io_latency`] (honoured by all three backends).
+//! [`MgtOptions::io_latency`] (honoured by all four backends).
 //!
 //! Everything is sorted arrays — the paper found set/map structures >10×
 //! slower (§IV-A1). Each triangle is found exactly once because its pivot
@@ -70,7 +76,7 @@ use std::sync::Arc;
 
 use pdtl_io::{
     ChunkPrefetcher, CpuIoTimer, IoBackend, IoStats, MemoryBudget, MmapSource, PrefetchReader,
-    U32Reader, U32Source,
+    U32Reader, U32Source, UringSource,
 };
 
 use crate::balance::EdgeRange;
@@ -81,6 +87,26 @@ use crate::orient::{OrientedCsr, OrientedGraph};
 use crate::sink::TriangleSink;
 
 /// Tuning knobs of the MGT engines (ablation surface).
+///
+/// `MgtOptions::default()` honours the `PDTL_IO_BACKEND` environment
+/// override; struct-update syntax pins individual knobs:
+///
+/// ```
+/// use pdtl_core::mgt::{mgt_in_memory_opt, MgtOptions};
+/// use pdtl_core::orient::orient_csr;
+/// use pdtl_core::sink::CountSink;
+/// use pdtl_graph::gen::classic::complete;
+/// use pdtl_io::{IoBackend, MemoryBudget};
+///
+/// let opts = MgtOptions {
+///     backend: IoBackend::Uring, // engines resolve() it per platform
+///     ..MgtOptions::default()
+/// };
+/// let oriented = orient_csr(&complete(10).unwrap());
+/// let (triangles, _cpu_ops) =
+///     mgt_in_memory_opt(&oriented, MemoryBudget::edges(64), &mut CountSink, opts);
+/// assert_eq!(triangles, 120); // C(10, 3)
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MgtOptions {
     /// Stop each chunk's scan at `vhigh` and seek past out-lists whose
@@ -91,8 +117,10 @@ pub struct MgtOptions {
     /// backend counts the exact same `bytes_read` and `seeks` — the
     /// choice is a scheduling/copy change, not a different I/O plan:
     /// [`IoBackend::Prefetch`] (default) hides device waits behind
-    /// compute, [`IoBackend::Mmap`] serves page-cache-resident graphs
-    /// zero-copy, [`IoBackend::Blocking`] is the synchronous reference.
+    /// compute with threads, [`IoBackend::Uring`] does the same through
+    /// kernel submission queues, [`IoBackend::Mmap`] serves
+    /// page-cache-resident graphs zero-copy, [`IoBackend::Blocking`] is
+    /// the synchronous reference.
     /// The `PDTL_IO_BACKEND` env var overrides the default, which is
     /// how the CI matrix runs the suite under each backend. Ignored by
     /// the in-memory engine, which has no I/O at all.
@@ -151,12 +179,13 @@ pub fn mgt_count_range_opt<S: TriangleSink>(
         m.set_read_latency(opts.io_latency);
         Ok(m)
     };
+    let run_prefetch = |sink: &mut S| -> Result<(u64, u64, u64)> {
+        let scan_reader = CopyScan(PrefetchReader::new(open()?)?);
+        let chunks = OverlappedChunks::new(open()?)?;
+        mgt_disk_loop(og, range, budget, sink, opts, chunks, scan_reader)
+    };
     let (triangles, cpu_ops, iterations) = match opts.backend.resolve() {
-        IoBackend::Prefetch => {
-            let scan_reader = CopyScan(PrefetchReader::new(open()?)?);
-            let chunks = OverlappedChunks::new(open()?)?;
-            mgt_disk_loop(og, range, budget, sink, opts, chunks, scan_reader)?
-        }
+        IoBackend::Prefetch => run_prefetch(sink)?,
         IoBackend::Blocking => {
             let scan_reader = CopyScan(open()?);
             let chunks = BlockingChunks(open()?);
@@ -166,6 +195,27 @@ pub fn mgt_count_range_opt<S: TriangleSink>(
             let scan_reader = MmapScan(open_map()?);
             let chunks = MmapChunks(open_map()?);
             mgt_disk_loop(og, range, budget, sink, opts, chunks, scan_reader)?
+        }
+        IoBackend::Uring => {
+            let open_uring = || -> Result<UringSource> {
+                let mut u = UringSource::open(og.disk.adj_path(), stats.clone())?;
+                u.set_read_latency(opts.io_latency);
+                Ok(u)
+            };
+            // `resolve()` vets the platform, but ring creation can
+            // still fail at runtime (RLIMIT_MEMLOCK on 5.6–5.11
+            // kernels, fd exhaustion, seccomp applied post-probe).
+            // Degradation is the backend's contract, so fall back to
+            // the thread-based overlapper rather than failing the
+            // count; genuine file errors resurface identically there.
+            match open_uring().and_then(|scan| Ok((scan, open_uring()?))) {
+                Ok((scan, chunk)) => {
+                    let scan_reader = CopyScan(scan);
+                    let chunks = UringChunks(chunk);
+                    mgt_disk_loop(og, range, budget, sink, opts, chunks, scan_reader)?
+                }
+                Err(_) => run_prefetch(sink)?,
+            }
         }
     };
     sink.flush()?;
@@ -287,6 +337,31 @@ impl ChunkSource for OverlappedChunks {
         if let Some((npos, nlen)) = next {
             // Chunk k+1 loads while chunk k's scan pass computes.
             self.prefetcher.request(npos, nlen, spare);
+        }
+        Ok(&scratch[..])
+    }
+}
+
+/// Chunk loads through `io_uring`: the blocking load primitive plus a
+/// [`UringSource::pre_read`] hint, so chunk `k+1`'s blocks complete in
+/// the kernel while chunk `k`'s scan pass computes — the overlapped
+/// chunk loader without the prefetch thread.
+struct UringChunks(UringSource);
+
+impl ChunkSource for UringChunks {
+    fn load<'a>(
+        &'a mut self,
+        pos: u64,
+        len: usize,
+        next: Option<(u64, usize)>,
+        scratch: &'a mut Vec<u32>,
+    ) -> Result<&'a [u32]> {
+        // Same primitive (and failure behaviour) as the blocking chunk
+        // loader; the read-ahead happens underneath the accounting.
+        self.0.read_exact_range(pos, len, scratch)?;
+        if let Some((npos, nlen)) = next {
+            // Queue the next chunk's blocks while this one is scanned.
+            self.0.pre_read(npos, nlen);
         }
         Ok(&scratch[..])
     }
@@ -775,7 +850,7 @@ mod tests {
             };
             let (t_bl, bytes_bl, seeks_bl) = run(IoBackend::Blocking);
             assert_eq!(t_bl, expected, "budget {edges}");
-            for backend in [IoBackend::Prefetch, IoBackend::Mmap] {
+            for backend in [IoBackend::Prefetch, IoBackend::Mmap, IoBackend::Uring] {
                 let (t, bytes, seeks) = run(backend);
                 assert_eq!(t, expected, "budget {edges} {backend}");
                 assert_eq!(bytes, bytes_bl, "budget {edges} {backend}: bytes_read");

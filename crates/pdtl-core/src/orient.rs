@@ -318,6 +318,33 @@ impl OrientedGraph {
     /// replica copied to another node). Rebuilds offsets and `d*_max`
     /// from the oriented degree file and reloads the rank map and scan
     /// bounds from `base.map` / `base.bnd`.
+    ///
+    /// ```
+    /// use pdtl_core::mgt::{mgt_count_range, MgtOptions};
+    /// use pdtl_core::orient::{orient_to_disk, OrientedGraph};
+    /// use pdtl_core::sink::CountSink;
+    /// use pdtl_core::EdgeRange;
+    /// use pdtl_graph::gen::classic::wheel;
+    /// use pdtl_graph::DiskGraph;
+    /// use pdtl_io::{IoStats, MemoryBudget};
+    ///
+    /// let dir = std::env::temp_dir().join(format!("pdtl-doc-open-{}", std::process::id()));
+    /// std::fs::create_dir_all(&dir).unwrap();
+    /// let stats = IoStats::new();
+    /// let input = DiskGraph::write(&wheel(12).unwrap(), dir.join("g"), &stats).unwrap();
+    /// let (og, _report) = orient_to_disk(&input, dir.join("oriented"), 1, &stats).unwrap();
+    ///
+    /// // What a cluster node does with its replica: reopen by base path.
+    /// let reopened = OrientedGraph::open(dir.join("oriented"), &stats).unwrap();
+    /// assert_eq!(reopened.m_star(), og.m_star());
+    /// let range = EdgeRange { start: 0, end: reopened.m_star() };
+    /// let report = mgt_count_range(
+    ///     &reopened, range, MemoryBudget::edges(32), &mut CountSink, stats.clone(),
+    /// )
+    /// .unwrap();
+    /// assert_eq!(report.triangles, 11); // the 11 rim triangles of W_12
+    /// # let _ = std::fs::remove_dir_all(&dir);
+    /// ```
     pub fn open(base: impl AsRef<Path>, stats: &Arc<IoStats>) -> Result<Self> {
         let base = base.as_ref();
         let disk = DiskGraph::open(base, stats)?;

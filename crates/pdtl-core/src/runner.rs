@@ -190,6 +190,36 @@ impl Drop for TempDirGuard {
 }
 
 /// [`count_triangles`] with an explicit configuration.
+///
+/// The one-call entry point to the full disk pipeline: write the graph
+/// in PDTL binary format, orient it into rank space, split the oriented
+/// adjacency across `cores` workers, run the MGT engine per range
+/// through the configured [I/O backend](pdtl_io::IoBackend), and
+/// aggregate the per-worker reports. Scratch files live in a temporary
+/// directory that is removed on every exit path.
+///
+/// ```
+/// use pdtl_core::{count_triangles_with, LocalConfig, MgtOptions};
+/// use pdtl_graph::gen::classic::complete;
+/// use pdtl_io::{IoBackend, MemoryBudget};
+///
+/// let g = complete(20).unwrap();
+/// let report = count_triangles_with(
+///     &g,
+///     LocalConfig {
+///         cores: 2,
+///         budget: MemoryBudget::edges(64), // far below |E*|: multi-pass
+///         mgt: MgtOptions {
+///             backend: IoBackend::Uring, // degrades to prefetch if absent
+///             ..MgtOptions::default()
+///         },
+///         ..LocalConfig::default()
+///     },
+/// )
+/// .unwrap();
+/// assert_eq!(report.triangles, 1140); // C(20, 3)
+/// assert_eq!(report.workers.len(), 2);
+/// ```
 pub fn count_triangles_with(g: &Graph, config: LocalConfig) -> Result<RunReport> {
     static UNIQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
     let id = UNIQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);

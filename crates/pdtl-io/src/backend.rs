@@ -1,12 +1,12 @@
 //! The I/O backend selector shared by every stream consumer.
 //!
 //! PDTL's engines read graph files through the [`U32Source`] seam, which
-//! has three interchangeable implementations with identical accounting
+//! has four interchangeable implementations with identical accounting
 //! (`bytes_read` / `seeks` counted per block *touched*):
 //!
 //! * [`Blocking`](IoBackend::Blocking) — [`U32Reader`], one synchronous
-//!   `read(2)` per block. The reference implementation the other two are
-//!   asserted against.
+//!   `read(2)` per block. The reference implementation the other three
+//!   are asserted against.
 //! * [`Prefetch`](IoBackend::Prefetch) — [`PrefetchReader`] +
 //!   `ChunkPrefetcher`, background threads keep blocks read ahead so
 //!   device waits hide behind compute. Wins when reads actually block
@@ -16,14 +16,41 @@
 //!   the address space and served zero-copy. Wins on page-cache-resident
 //!   graphs where every `read(2)` copy is pure overhead; falls back to
 //!   `Blocking` on platforms without the mapping syscalls.
+//! * [`Uring`](IoBackend::Uring) — [`UringSource`], block reads driven
+//!   through `io_uring` submission/completion queues with depth > 1 and
+//!   *no* extra threads: the kernel overlaps device waits with compute.
+//!   Falls back to `Prefetch` (the thread-based overlapper) on kernels
+//!   without `io_uring`.
 //!
 //! [`U32Source`]: crate::U32Source
 //! [`U32Reader`]: crate::U32Reader
 //! [`PrefetchReader`]: crate::PrefetchReader
 //! [`MmapSource`]: crate::MmapSource
+//! [`UringSource`]: crate::UringSource
 
 /// Which [`U32Source`](crate::U32Source) implementation an engine
 /// streams its graph files through.
+///
+/// Names round-trip through [`parse`](Self::parse) (which also accepts
+/// the `io_uring` spelling), and [`resolve`](Self::resolve) degrades a
+/// backend the running platform cannot serve to one it can:
+///
+/// ```
+/// use pdtl_io::IoBackend;
+///
+/// // Every backend's canonical name parses back to itself…
+/// for b in IoBackend::ALL {
+///     assert_eq!(IoBackend::parse(b.name()), Some(b));
+/// }
+/// // …case-insensitively, and with the io_uring alias.
+/// assert_eq!(IoBackend::parse("MMAP"), Some(IoBackend::Mmap));
+/// assert_eq!(IoBackend::parse("io_uring"), Some(IoBackend::Uring));
+///
+/// // `resolve` never yields a backend this platform cannot run:
+/// // io_uring degrades to the thread-based prefetcher where missing.
+/// let r = IoBackend::Uring.resolve();
+/// assert!(r == IoBackend::Uring || r == IoBackend::Prefetch);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum IoBackend {
     /// Synchronous buffered reads ([`U32Reader`](crate::U32Reader)).
@@ -35,17 +62,28 @@ pub enum IoBackend {
     /// Zero-copy memory mapping ([`MmapSource`](crate::MmapSource));
     /// resolves to `Blocking` where mapping is unsupported.
     Mmap,
+    /// Asynchronous `io_uring` reads ([`UringSource`](crate::UringSource))
+    /// with queue depth > 1 and no prefetch threads; resolves to
+    /// `Prefetch` where `io_uring` is unavailable.
+    Uring,
 }
 
 /// Environment variable overriding the default backend
-/// (`blocking` | `prefetch` | `mmap`, case-insensitive). Consumed by
-/// `MgtOptions::default`, which is how the CI test matrix runs the
-/// whole suite under each backend without touching any call site.
+/// (`blocking` | `prefetch` | `mmap` | `uring`, case-insensitive).
+/// Consumed by `MgtOptions::default`, which is how the CI test matrix
+/// runs the whole suite under each backend without touching any call
+/// site.
 pub const BACKEND_ENV: &str = "PDTL_IO_BACKEND";
 
 impl IoBackend {
-    /// Every backend, in wire-discriminant order.
-    pub const ALL: [IoBackend; 3] = [IoBackend::Blocking, IoBackend::Prefetch, IoBackend::Mmap];
+    /// Every backend, in wire-discriminant order (the order of the
+    /// flags-byte encoding in the cluster's `WorkerConfig`).
+    pub const ALL: [IoBackend; 4] = [
+        IoBackend::Blocking,
+        IoBackend::Prefetch,
+        IoBackend::Mmap,
+        IoBackend::Uring,
+    ];
 
     /// Stable lowercase name (bench row / CLI / env spelling).
     pub fn name(self) -> &'static str {
@@ -53,15 +91,19 @@ impl IoBackend {
             IoBackend::Blocking => "blocking",
             IoBackend::Prefetch => "prefetch",
             IoBackend::Mmap => "mmap",
+            IoBackend::Uring => "uring",
         }
     }
 
-    /// Parse a backend name, case-insensitively.
+    /// Parse a backend name, case-insensitively. `uring` and the
+    /// kernel-interface spelling `io_uring` both name
+    /// [`Uring`](IoBackend::Uring).
     pub fn parse(s: &str) -> Option<Self> {
         match s.to_ascii_lowercase().as_str() {
             "blocking" => Some(IoBackend::Blocking),
             "prefetch" => Some(IoBackend::Prefetch),
             "mmap" => Some(IoBackend::Mmap),
+            "uring" | "io_uring" => Some(IoBackend::Uring),
             _ => None,
         }
     }
@@ -83,12 +125,15 @@ impl IoBackend {
     /// Resolve to a backend the current platform can actually run:
     /// [`Mmap`](IoBackend::Mmap) degrades to
     /// [`Blocking`](IoBackend::Blocking) where the mapping syscalls are
-    /// unavailable; the other two are always supported.
+    /// unavailable, [`Uring`](IoBackend::Uring) degrades to
+    /// [`Prefetch`](IoBackend::Prefetch) — the thread-based overlapper,
+    /// its closest behavioural twin — where the kernel lacks (or has
+    /// disabled) `io_uring`; the first two are always supported.
     pub fn resolve(self) -> Self {
-        if self == IoBackend::Mmap && !crate::mmap::mmap_supported() {
-            IoBackend::Blocking
-        } else {
-            self
+        match self {
+            IoBackend::Mmap if !crate::mmap::mmap_supported() => IoBackend::Blocking,
+            IoBackend::Uring if !crate::uring::uring_supported() => IoBackend::Prefetch,
+            other => other,
         }
     }
 }
@@ -104,12 +149,22 @@ mod tests {
     use super::*;
 
     #[test]
-    fn names_round_trip() {
+    fn names_round_trip_for_all_four_backends() {
+        assert_eq!(IoBackend::ALL.len(), 4);
         for b in IoBackend::ALL {
             assert_eq!(IoBackend::parse(b.name()), Some(b));
             assert_eq!(IoBackend::parse(&b.name().to_uppercase()), Some(b));
+            assert_eq!(b.to_string(), b.name());
         }
-        assert_eq!(IoBackend::parse("io_uring"), None);
+        assert_eq!(IoBackend::parse("gibberish"), None);
+    }
+
+    #[test]
+    fn uring_accepts_both_spellings() {
+        assert_eq!(IoBackend::parse("uring"), Some(IoBackend::Uring));
+        assert_eq!(IoBackend::parse("io_uring"), Some(IoBackend::Uring));
+        assert_eq!(IoBackend::parse("IO_URING"), Some(IoBackend::Uring));
+        assert_eq!(IoBackend::Uring.name(), "uring", "canonical name");
     }
 
     #[test]
@@ -118,11 +173,16 @@ mod tests {
     }
 
     #[test]
-    fn resolve_never_yields_unsupported_mmap() {
+    fn resolve_never_yields_unsupported_backends() {
         let r = IoBackend::Mmap.resolve();
         assert!(r == IoBackend::Mmap || r == IoBackend::Blocking);
         if crate::mmap::mmap_supported() {
             assert_eq!(r, IoBackend::Mmap);
+        }
+        let r = IoBackend::Uring.resolve();
+        assert!(r == IoBackend::Uring || r == IoBackend::Prefetch);
+        if crate::uring::uring_supported() {
+            assert_eq!(r, IoBackend::Uring);
         }
         assert_eq!(IoBackend::Blocking.resolve(), IoBackend::Blocking);
         assert_eq!(IoBackend::Prefetch.resolve(), IoBackend::Prefetch);

@@ -18,8 +18,11 @@
 //!   exact same bytes and seeks, so backend ablations compare pure
 //!   scheduling, not different I/O plans.
 //! * [`MmapSource`] — a zero-copy memory-mapped [`U32Source`] for
-//!   page-cache-resident graphs, again with byte-identical accounting;
-//!   [`IoBackend`] selects between the three behind one seam.
+//!   page-cache-resident graphs, again with byte-identical accounting.
+//! * [`UringSource`] — an `io_uring`-backed [`U32Source`] keeping
+//!   several block reads in flight per stream with no prefetch
+//!   threads, once more with byte-identical accounting; [`IoBackend`]
+//!   selects between the four behind one seam.
 //! * [`external_sort_u64`] — a counted external merge sort used to bring
 //!   raw edge lists into the sorted PDTL format.
 //! * [`MemoryBudget`] — the per-processor memory parameter `M` (in edges)
@@ -27,6 +30,8 @@
 //! * [`CostModel`] — converts the counted work (CPU operations, I/O bytes,
 //!   network bytes) into deterministic *modeled seconds*, which is how the
 //!   scaling experiments reproduce the paper's curves on arbitrary hosts.
+
+#![warn(missing_docs)]
 
 pub mod backend;
 pub mod budget;
@@ -38,6 +43,7 @@ pub mod prefetch;
 pub mod stats;
 pub mod stream;
 pub mod timer;
+pub mod uring;
 
 pub use backend::{IoBackend, BACKEND_ENV};
 pub use budget::MemoryBudget;
@@ -49,3 +55,4 @@ pub use prefetch::{ChunkPrefetcher, PrefetchReader};
 pub use stats::IoStats;
 pub use stream::{U32Reader, U32Source, U32Writer, BYTES_PER_U32};
 pub use timer::{CpuIoTimer, TimeBreakdown};
+pub use uring::{uring_supported, UringSource, URING_DISABLE_ENV};

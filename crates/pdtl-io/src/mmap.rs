@@ -8,7 +8,7 @@
 //! engines select it via `IoBackend::Mmap`.
 //!
 //! **Accounting contract.** `MmapSource` implements
-//! [`U32Source`](crate::U32Source) and mirrors [`U32Reader`]'s control
+//! [`U32Source`] and mirrors [`U32Reader`]'s control
 //! flow exactly, block for block: a *virtual* block-sized buffer window
 //! advances over the mapping, charging [`IoStats`] one block-sized
 //! `record_read` wherever the buffered reader would refill and one
@@ -18,7 +18,7 @@
 //! tests assert this across budgets × seek patterns). Emulated device
 //! latency ([`set_read_latency`](MmapSource::set_read_latency)) sleeps
 //! once per virtual refill, exactly like `U32Reader`, so the
-//! `io_latency` ablations remain comparable across all three backends.
+//! `io_latency` ablations remain comparable across all four backends.
 //!
 //! The mapping syscalls (`mmap` / `munmap` / `madvise`) are bound
 //! through a tiny `extern "C"` module (the same offline-shim pattern as
@@ -36,6 +36,8 @@ use std::time::{Duration, Instant};
 
 use crate::error::{IoError, Result};
 use crate::stats::IoStats;
+#[cfg(doc)]
+use crate::stream::U32Reader;
 use crate::stream::{U32Source, BYTES_PER_U32, DEFAULT_BUF_U32S};
 
 /// Whether this platform supports the mmap backend (64-bit

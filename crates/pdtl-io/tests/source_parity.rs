@@ -1,13 +1,13 @@
 //! Cross-backend accounting contract of the [`U32Source`] seam.
 //!
-//! The three backends — blocking [`U32Reader`], read-ahead
-//! [`PrefetchReader`], zero-copy [`MmapSource`] — must yield
-//! byte-identical `u32` streams, identical final positions, and
-//! identical `bytes_read`/`seeks` for *any* access pattern (reads,
-//! short and long skips, seeks — all clamped at end of file), at any
-//! block size, on any file length including empty. The property test
-//! drives randomized patterns; the explicit tests pin the EOF-clamp and
-//! empty-file edges the buffered path fixed in PR 3.
+//! The four backends — blocking [`U32Reader`], read-ahead
+//! [`PrefetchReader`], zero-copy [`MmapSource`], asynchronous
+//! [`UringSource`] — must yield byte-identical `u32` streams, identical
+//! final positions, and identical `bytes_read`/`seeks` for *any* access
+//! pattern (reads, short and long skips, seeks — all clamped at end of
+//! file), at any block size, on any file length including empty. The
+//! property test drives randomized patterns; the explicit tests pin the
+//! EOF-clamp and empty-file edges the buffered path fixed in PR 3.
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -15,8 +15,22 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use proptest::prelude::*;
 
 use pdtl_io::{
-    mmap_supported, IoStats, MmapSource, PrefetchReader, U32Reader, U32Source, U32Writer,
+    mmap_supported, uring_supported, IoStats, MmapSource, PrefetchReader, U32Reader, U32Source,
+    U32Writer, UringSource,
 };
+
+/// The non-reference backends available on this platform (`blocking`
+/// is always the reference trace).
+fn other_backends() -> Vec<&'static str> {
+    let mut v = vec!["prefetch"];
+    if mmap_supported() {
+        v.push("mmap");
+    }
+    if uring_supported() {
+        v.push("uring");
+    }
+    v
+}
 
 static UNIQ: AtomicU64 = AtomicU64::new(0);
 
@@ -72,6 +86,10 @@ fn trace_backend(which: &str, path: &PathBuf, block: usize, ops: &[(u8, u64)]) -
             let mut m = MmapSource::with_block(path, stats.clone(), block).unwrap();
             drive(&mut m, ops)
         }
+        "uring" => {
+            let mut u = UringSource::with_block(path, stats.clone(), block).unwrap();
+            drive(&mut u, ops)
+        }
         other => panic!("unknown backend {other}"),
     };
     (
@@ -92,23 +110,20 @@ proptest! {
         block in 1usize..1500,
         ops in prop::collection::vec((0u8..6, 0u64..40_000), 0..32),
     ) {
-        if !mmap_supported() {
-            return Ok(());
-        }
         let vals: Vec<u32> = (0..len as u32).map(|i| i.wrapping_mul(2_654_435_761)).collect();
         let path = write_fixture(&vals);
 
         let (b_out, b_pos, b_bytes, b_seeks, b_ops) =
             trace_backend("blocking", &path, block, &ops);
-        for which in ["prefetch", "mmap"] {
+        for which in other_backends() {
             let (out, pos, bytes, seeks, read_ops) = trace_backend(which, &path, block, &ops);
             prop_assert_eq!(&out, &b_out);
             prop_assert_eq!(pos, b_pos);
             prop_assert_eq!(bytes, b_bytes);
             prop_assert_eq!(seeks, b_seeks);
-            if which == "mmap" {
-                // The mmap source mirrors the blocking reader refill
-                // for refill; the prefetcher's op granularity
+            if which != "prefetch" {
+                // The mmap and uring sources mirror the blocking reader
+                // refill for refill; the prefetcher's op granularity
                 // legitimately differs at EOF (it never issues the
                 // empty read).
                 prop_assert_eq!(read_ops, b_ops);
@@ -123,9 +138,6 @@ fn eof_clamp_edges_agree_across_backends() {
     // The PR 3 regression shape: seek past EOF, then read; skip
     // u64::MAX; read at exactly EOF. Every backend must clamp the same
     // way and count the same I/O.
-    if !mmap_supported() {
-        return;
-    }
     let vals: Vec<u32> = (0..1000).collect();
     let path = write_fixture(&vals);
     let ops: Vec<(u8, u64)> = vec![
@@ -144,7 +156,7 @@ fn eof_clamp_edges_agree_across_backends() {
         &[999],
         "sanity: the pattern ends on the last value"
     );
-    for which in ["prefetch", "mmap"] {
+    for which in other_backends() {
         let got = trace_backend(which, &path, 64, &ops);
         assert_eq!(got.0, reference.0, "{which}: stream");
         assert_eq!(got.1, reference.1, "{which}: position");
@@ -156,15 +168,12 @@ fn eof_clamp_edges_agree_across_backends() {
 
 #[test]
 fn empty_file_edges_agree_across_backends() {
-    if !mmap_supported() {
-        return;
-    }
     let path = write_fixture(&[]);
     let ops: Vec<(u8, u64)> = vec![(0, 10), (2, 5), (1, u64::MAX), (0, 1)];
     let reference = trace_backend("blocking", &path, 16, &ops);
     assert!(reference.0.is_empty());
     assert_eq!(reference.1, 0, "position clamps to the empty length");
-    for which in ["prefetch", "mmap"] {
+    for which in other_backends() {
         let got = trace_backend(which, &path, 16, &ops);
         assert_eq!(got.0, reference.0, "{which}: stream");
         assert_eq!(got.1, reference.1, "{which}: position");

@@ -28,11 +28,14 @@ fn main() {
         listing: false,
         net: NetModel::default(),
         transport: Default::default(),
-        // Real cluster nodes stream cold replicas from disk, where the
-        // read-ahead backend hides device waits; the choice ships to
-        // every worker in its wire WorkerConfig.
+        // Real cluster nodes stream cold replicas from disk, where
+        // overlapped I/O hides device waits. io_uring gets that overlap
+        // from kernel submission queues (no prefetch threads) and
+        // degrades to the thread-based prefetcher on kernels without
+        // it; the choice ships to every worker in its wire
+        // WorkerConfig (flags-byte discriminant 3).
         mgt: MgtOptions {
-            backend: IoBackend::Prefetch,
+            backend: IoBackend::Uring,
             ..MgtOptions::default()
         },
     })

@@ -8,7 +8,7 @@
 //! * `export <base> <edges.txt>` — write a graph back to text;
 //! * `stats <base>` — print the Table-I row of a graph;
 //! * `count <base> [--cores p] [--memory edges] [--naive]
-//!   [--backend blocking|prefetch|mmap]` — multicore exact count;
+//!   [--backend blocking|prefetch|mmap|uring]` — multicore exact count;
 //! * `cluster <base> [--nodes n] [--cores p] [--memory edges] [--tcp]
 //!   [--backend b]` — distributed exact count;
 //! * `list <base> <out.bin> [--cores p]` — triangle listing to file.
@@ -135,9 +135,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         |flags: &std::collections::HashMap<String, String>| -> Result<Option<IoBackend>, String> {
             match flags.get("backend") {
                 None => Ok(None),
-                Some(v) => IoBackend::parse(v)
-                    .map(Some)
-                    .ok_or(format!("bad --backend: {v:?} (blocking|prefetch|mmap)")),
+                Some(v) => IoBackend::parse(v).map(Some).ok_or(format!(
+                    "bad --backend: {v:?} (blocking|prefetch|mmap|uring)"
+                )),
             }
         };
     let cmd = pos.first().ok_or(USAGE.to_string())?.as_str();
@@ -453,6 +453,8 @@ mod tests {
             ("blocking", IoBackend::Blocking),
             ("prefetch", IoBackend::Prefetch),
             ("MMAP", IoBackend::Mmap),
+            ("uring", IoBackend::Uring),
+            ("io_uring", IoBackend::Uring),
         ] {
             let cmd = parse(&args(&format!("count /tmp/g --backend {name}"))).unwrap();
             let Command::Count { backend: got, .. } = cmd else {
@@ -468,7 +470,7 @@ mod tests {
                 ..
             }
         ));
-        assert!(parse(&args("count /tmp/g --backend io_uring")).is_err());
+        assert!(parse(&args("count /tmp/g --backend io-urng")).is_err());
     }
 
     #[test]
