@@ -15,6 +15,7 @@
 //! counted at its cone vertex's owner), and PATRIC's two load-balancing
 //! schemes (by vertex count, by degree sum).
 
+use pdtl_core::intersect::intersect_visit;
 use pdtl_core::order::DegreeOrder;
 use pdtl_graph::Graph;
 
@@ -120,7 +121,7 @@ pub fn run(g: &Graph, config: PatricConfig) -> Result<PatricReport> {
                 // count w ∈ N(u) ∩ N(v) with u ≺ v ≺ w
                 let nv = g.neighbors(v);
                 let mut cnt = 0u64;
-                intersect_visit_ordered(nu, nv, |w| {
+                intersect_visit(nu, nv, |w| {
                     if ord.precedes(v, w) {
                         cnt += 1;
                     }
@@ -137,21 +138,6 @@ pub fn run(g: &Graph, config: PatricConfig) -> Result<PatricReport> {
         distribution_bytes,
         partition_triangles,
     })
-}
-
-fn intersect_visit_ordered(a: &[u32], b: &[u32], mut visit: impl FnMut(u32)) {
-    let (mut i, mut j) = (0usize, 0usize);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                visit(a[i]);
-                i += 1;
-                j += 1;
-            }
-        }
-    }
 }
 
 /// Contiguous core-vertex ranges under the chosen balance scheme.

@@ -15,7 +15,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::collections::HashSet;
 use std::hint::black_box;
 
-use pdtl_core::intersect::{intersect_count, intersect_gallop_visit, intersect_visit};
+use pdtl_core::intersect::{
+    intersect_count, intersect_gallop_visit, intersect_gallop_visit_counted_with, intersect_visit,
+    intersect_visit_counted_with, SimdLevel,
+};
 use pdtl_core::orient::{orient_csr, orient_to_disk};
 use pdtl_core::sink::CountSink;
 use pdtl_core::{mgt_count_range_opt, mgt_in_memory_opt, BalanceStrategy, EdgeRange, MgtOptions};
@@ -124,6 +127,40 @@ fn bench_gallop_crossover(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("gallop", small_len), &small, |b, small| {
             b.iter(|| intersect_gallop_visit(black_box(small), black_box(&large), |_| {}))
         });
+        // The same sweep with the SIMD tier forced off: `GALLOP_RATIO`
+        // must be justified at *every* `PDTL_SIMD` level, since the
+        // ratio boundaries are shared across levels (that sharing is
+        // what keeps `cpu_ops` level-invariant).
+        group.bench_with_input(
+            BenchmarkId::new("linear_scalar", small_len),
+            &small,
+            |b, small| {
+                b.iter(|| {
+                    intersect_visit_counted_with(
+                        SimdLevel::Off,
+                        black_box(small),
+                        black_box(&large),
+                        |_| {},
+                    )
+                    .0
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("gallop_scalar", small_len),
+            &small,
+            |b, small| {
+                b.iter(|| {
+                    intersect_gallop_visit_counted_with(
+                        SimdLevel::Off,
+                        black_box(small),
+                        black_box(&large),
+                        |_| {},
+                    )
+                    .0
+                })
+            },
+        );
     }
     // The three kernel-bench shapes, so `GALLOP_RATIO` (and the
     // linear merge's own interleaved/advance dispatch) is justified by

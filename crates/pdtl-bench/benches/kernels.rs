@@ -11,7 +11,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use pdtl_bench::kernelbench::workload;
-use pdtl_core::intersect::{intersect_gallop_visit, intersect_visit};
+use pdtl_core::intersect::{
+    intersect_gallop_visit, intersect_visit, intersect_visit_counted_with, SimdLevel,
+};
 use pdtl_core::mgt::{mgt_count_range_opt, mgt_in_memory, MgtOptions};
 use pdtl_core::orient::{orient_csr, orient_csr_threads, orient_to_disk};
 use pdtl_core::sink::CountSink;
@@ -34,6 +36,18 @@ fn bench_intersection(c: &mut Criterion) {
             &(&a, &b),
             |bencher, (a, b)| {
                 bencher.iter(|| intersect_gallop_visit(black_box(a), black_box(b), |_| {}))
+            },
+        );
+        // Forced-scalar ablation row, mirrored in the JSON snapshot
+        // runner: the vectorization speedup on the same shape.
+        group.bench_with_input(
+            BenchmarkId::new("linear_scalar", format!("{a_len}x{b_len}")),
+            &(&a, &b),
+            |bencher, (a, b)| {
+                bencher.iter(|| {
+                    intersect_visit_counted_with(SimdLevel::Off, black_box(a), black_box(b), |_| {})
+                        .0
+                })
             },
         );
     }

@@ -49,6 +49,15 @@ fn main() {
     }
 
     if ids.iter().any(|i| i == "kernels") {
+        // The SIMD feature level goes into the regeneration log so a
+        // BENCH_kernels.json diff is attributable to hardware (a
+        // snapshot from an SSE2-only runner is not comparable to an
+        // AVX2 one).
+        println!(
+            "[simd: {} (host supports {})]",
+            pdtl_core::intersect::simd_level(),
+            pdtl_core::intersect::SimdLevel::detect(),
+        );
         let start = std::time::Instant::now();
         let results = kernelbench::run_kernel_benches();
         print!("{}", kernelbench::to_table(&results));

@@ -17,7 +17,9 @@ use std::fmt::Write as _;
 use std::path::Path;
 use std::time::{Duration, Instant};
 
-use pdtl_core::intersect::{intersect_gallop_visit, intersect_visit};
+use pdtl_core::intersect::{
+    intersect_gallop_visit, intersect_visit, intersect_visit_counted_with, SimdLevel,
+};
 use pdtl_core::mgt::{mgt_count_range_opt, mgt_in_memory, MgtOptions};
 use pdtl_core::orient::{orient_csr, orient_csr_threads, orient_to_disk};
 use pdtl_core::sink::CountSink;
@@ -132,6 +134,14 @@ pub fn run_kernel_benches() -> Vec<BenchResult> {
             &format!("intersect/gallop/{a_len}x{b_len}"),
             window,
             || intersect_gallop_visit(&a, &b, |_| {}),
+        ));
+        // Forced-scalar ablation row: the same shape through the same
+        // ratio dispatch with the SIMD tier off, so every snapshot
+        // carries its own vectorization speedup measurement.
+        out.push(time_one(
+            &format!("intersect/linear_scalar/{a_len}x{b_len}"),
+            window,
+            || intersect_visit_counted_with(SimdLevel::Off, &a, &b, |_| {}).0,
         ));
     }
 
@@ -295,6 +305,7 @@ mod tests {
             assert!(json.contains(&format!("\"mgt_disk_simlat50us/backend_{backend}\"")));
         }
         assert!(json.contains("\"orient_csr_rmat10/cores_2\""));
+        assert!(json.contains("\"intersect/linear_scalar/1000x1000\""));
         assert!(json.contains("\"u32_writer/write_all_1m\""));
         // one "name": value line per bench, no trailing comma
         assert_eq!(json.matches(':').count(), results.len());

@@ -81,7 +81,7 @@ use pdtl_io::{
 
 use crate::balance::EdgeRange;
 use crate::error::Result;
-use crate::intersect::intersect_adaptive_visit_counted;
+use crate::intersect::{intersect_adaptive_visit_counted_with, simd_level};
 use crate::metrics::WorkerReport;
 use crate::orient::{OrientedCsr, OrientedGraph};
 use crate::sink::TriangleSink;
@@ -453,6 +453,9 @@ fn mgt_disk_loop<S: TriangleSink, C: ChunkSource, R: ScanSource>(
     let mut triangles = 0u64;
     let mut cpu_ops = 0u64;
     let mut iterations = 0u64;
+    // Resolved once per loop, not once per intersection: the inner loop
+    // issues one adaptive intersection per scanned neighbour.
+    let simd = simd_level();
 
     let mut pos = range.start;
     while pos < range.end {
@@ -505,9 +508,10 @@ fn mgt_disk_loop<S: TriangleSink, C: ChunkSource, R: ScanSource>(
                 }
                 let ev = &edg[seg_off as usize..(seg_off + seg_len) as usize];
                 let iv = ids[v as usize];
-                let (t, cmps) = intersect_adaptive_visit_counted(&nm[idx + 1..], ev, |w| {
-                    sink.emit(iu, iv, ids[w as usize])
-                });
+                let (t, cmps) =
+                    intersect_adaptive_visit_counted_with(simd, &nm[idx + 1..], ev, |w| {
+                        sink.emit(iu, iv, ids[w as usize])
+                    });
                 triangles += t;
                 cpu_ops += cmps;
             }
@@ -575,6 +579,7 @@ pub fn mgt_in_memory_opt<S: TriangleSink>(
     let mut triangles = 0u64;
     let mut cpu_ops = 0u64;
     let mut ind: Vec<(u32, u32)> = Vec::new();
+    let simd = simd_level();
 
     let mut pos = 0u64;
     while pos < m_star {
@@ -594,8 +599,17 @@ pub fn mgt_in_memory_opt<S: TriangleSink>(
                 continue;
             }
             cpu_ops += nm.len() as u64;
-            let lo_i = nm.partition_point(|&x| x < vlow);
-            let hi_i = nm.partition_point(|&x| x <= vhigh);
+            // Single-chunk fast path: when the chunk spans every vertex
+            // the window is the whole list and the two binary searches
+            // would just return its bounds.
+            let (lo_i, hi_i) = if vlow == 0 && vhigh == n - 1 {
+                (0, nm.len())
+            } else {
+                (
+                    nm.partition_point(|&x| x < vlow),
+                    nm.partition_point(|&x| x <= vhigh),
+                )
+            };
             let iu = ids[u as usize];
             for idx in lo_i..hi_i {
                 let v = nm[idx];
@@ -605,9 +619,10 @@ pub fn mgt_in_memory_opt<S: TriangleSink>(
                 }
                 let ev = &edg[seg_off as usize..(seg_off + seg_len) as usize];
                 let iv = ids[v as usize];
-                let (t, cmps) = intersect_adaptive_visit_counted(&nm[idx + 1..], ev, |w| {
-                    sink.emit(iu, iv, ids[w as usize])
-                });
+                let (t, cmps) =
+                    intersect_adaptive_visit_counted_with(simd, &nm[idx + 1..], ev, |w| {
+                        sink.emit(iu, iv, ids[w as usize])
+                    });
                 triangles += t;
                 cpu_ops += cmps;
             }

@@ -129,7 +129,17 @@ pub fn orient_csr_threads(g: &Graph, threads: usize) -> OrientedCsr {
     let map = RankMap::by_degree(&degrees);
     let ranks = map.ranks();
     let n = g.num_vertices();
-    let threads = threads.max(1).min(n.max(1) as usize);
+    // Clamp to cores actually available: the sharded gather costs
+    // `O(Σ d* log d*)` in per-list sorts, repaid only by real
+    // parallelism. Requesting more shards than cores (the PR 5
+    // `orient_csr/cores_{2,4}` rows, ~95 µs vs 76 µs sequential on the
+    // 1-core CI container) just pays the sorts with no overlap — so the
+    // shard count never exceeds `available_parallelism`, and oversized
+    // requests on a 1-core host take the branchless transpose instead.
+    let threads = threads
+        .max(1)
+        .min(n.max(1) as usize)
+        .min(rayon::current_num_threads().max(1));
 
     // Rank-indexed original degrees double as the load model: scanning
     // rank r costs deg(to_id(r)) neighbour visits.
@@ -673,6 +683,37 @@ mod tests {
                 let o = orient_csr_threads(&g, threads);
                 assert_eq!(o, reference, "{tag} threads={threads}");
             }
+        }
+    }
+
+    #[test]
+    fn thread_request_is_clamped_to_available_cores() {
+        // The PR 5 `orient_csr/cores_{2,4}` regression: sharding past
+        // the machine's parallelism pays the gather's per-list sorts
+        // with no overlap to repay them. Outside a pool the clamp must
+        // bound requests by `current_num_threads`; inside a pool the
+        // sharded path must still run (and match the transpose) so a
+        // 1-core CI container keeps covering it.
+        let g = rmat(8, 7).unwrap();
+        let reference = orient_csr_threads(&g, 1);
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let sharded = pool.install(|| orient_csr_threads(&g, 4));
+        assert_eq!(sharded, reference, "sharded gather == transpose");
+
+        // And the direct comparison, independent of any clamp: both
+        // strategies produce byte-identical CSRs at any shard count.
+        let degrees = g.degrees();
+        let map = RankMap::by_degree(&degrees);
+        let ranks = map.ranks();
+        let n = g.num_vertices();
+        let orig: Vec<u32> = (0..n).map(|r| degrees[map.to_id(r) as usize]).collect();
+        let transposed = orient_transpose(&g, &map, ranks);
+        for shards in [2usize, 5, 64] {
+            let gathered = orient_gather_sharded(&g, &map, ranks, &orig, shards);
+            assert_eq!(gathered, transposed, "shards={shards}");
         }
     }
 
