@@ -18,8 +18,44 @@ pub enum ClusterError {
     Disconnected(&'static str),
     /// An invalid cluster configuration.
     Config(String),
-    /// A node task panicked.
-    NodePanic(usize),
+    /// A node task panicked; `detail` carries the panic payload when it
+    /// was a string (the common `panic!("...")` case).
+    NodePanic {
+        /// Cluster id of the node whose thread panicked.
+        node: usize,
+        /// Stringified panic payload, or a placeholder for non-string
+        /// payloads.
+        detail: String,
+    },
+    /// Nothing arrived on a transport within the deadline.
+    Timeout {
+        /// Which peer the receive was waiting on.
+        peer: &'static str,
+        /// The deadline that expired.
+        after: std::time::Duration,
+    },
+    /// A node was given up on after exhausting its retry budget.
+    NodeFailed {
+        /// Cluster id of the failed node.
+        node: usize,
+        /// Dispatch attempts made before giving up.
+        attempts: u32,
+        /// The last failure observed from the node.
+        detail: String,
+    },
+}
+
+impl ClusterError {
+    /// Build a [`ClusterError::NodePanic`], extracting the panic
+    /// message from a `std::thread::JoinHandle::join` error payload.
+    pub fn node_panic(node: usize, payload: Box<dyn std::any::Any + Send>) -> Self {
+        let detail = payload
+            .downcast_ref::<&'static str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        ClusterError::NodePanic { node, detail }
+    }
 }
 
 impl fmt::Display for ClusterError {
@@ -30,7 +66,22 @@ impl fmt::Display for ClusterError {
             ClusterError::Protocol(msg) => write!(f, "protocol: {msg}"),
             ClusterError::Disconnected(who) => write!(f, "transport disconnected: {who}"),
             ClusterError::Config(msg) => write!(f, "configuration: {msg}"),
-            ClusterError::NodePanic(id) => write!(f, "node {id} panicked"),
+            ClusterError::NodePanic { node, detail } => {
+                write!(f, "node {node} panicked: {detail}")
+            }
+            ClusterError::Timeout { peer, after } => {
+                write!(f, "timed out waiting on {peer} after {after:?}")
+            }
+            ClusterError::NodeFailed {
+                node,
+                attempts,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "node {node} failed after {attempts} attempt(s): {detail}"
+                )
+            }
         }
     }
 }
@@ -75,8 +126,38 @@ mod tests {
         assert!(ClusterError::Disconnected("node 3")
             .to_string()
             .contains("node 3"));
-        assert!(ClusterError::NodePanic(2).to_string().contains('2'));
+        let p = ClusterError::NodePanic {
+            node: 2,
+            detail: "boom".into(),
+        };
+        assert!(p.to_string().contains("node 2"));
+        assert!(p.to_string().contains("boom"));
+        let t = ClusterError::Timeout {
+            peer: "tcp peer",
+            after: std::time::Duration::from_millis(250),
+        };
+        assert!(t.to_string().contains("tcp peer"));
+        let n = ClusterError::NodeFailed {
+            node: 1,
+            attempts: 3,
+            detail: "disconnected".into(),
+        };
+        assert!(n.to_string().contains("3 attempt"));
         let e: ClusterError = pdtl_io::IoError::malformed("/x", "y").into();
         assert!(e.to_string().contains("io:"));
+    }
+
+    #[test]
+    fn node_panic_extracts_string_payloads() {
+        let join_err = std::thread::spawn(|| panic!("worker exploded"))
+            .join()
+            .unwrap_err();
+        match ClusterError::node_panic(7, join_err) {
+            ClusterError::NodePanic { node, detail } => {
+                assert_eq!(node, 7);
+                assert!(detail.contains("worker exploded"), "{detail}");
+            }
+            other => panic!("wrong variant: {other}"),
+        }
     }
 }

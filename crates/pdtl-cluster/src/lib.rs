@@ -21,6 +21,7 @@
 //! copy times (Table III's copy columns) on any host.
 
 pub mod error;
+pub mod fault;
 pub mod message;
 pub mod netmodel;
 pub mod node;
@@ -30,7 +31,8 @@ pub mod tcp;
 pub mod transport;
 
 pub use error::{ClusterError, Result};
-pub use message::Message;
+pub use fault::{FaultKind, FaultPlan, FaultSpec, FAULT_ENV};
+pub use message::{Message, NodeDirectives, NodeFault};
 pub use netmodel::{NetModel, NetTraffic};
 pub use report::{ClusterReport, NodeReport};
-pub use runner::{ClusterConfig, ClusterRunner, TransportKind};
+pub use runner::{ClusterConfig, ClusterRunner, FailurePolicy, RetryPolicy, TransportKind};

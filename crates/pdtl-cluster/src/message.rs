@@ -37,6 +37,13 @@ pub struct WorkerConfig {
     /// Emulated per-block device latency in microseconds (0 = real
     /// hardware) — see `MgtOptions::io_latency`.
     pub io_latency_us: u32,
+    /// Injected read fault: deliver this many `u32`s through the scan
+    /// source, then fail (`MgtOptions::read_fault`). Rides the
+    /// length-prefixed record tail — the flags byte is full (bits 1–2
+    /// hold the backend), and PR 5-era decoders skip the tail — and is
+    /// only encoded when set, so fault-free records stay byte-identical
+    /// to PR 5's.
+    pub read_fault: Option<u64>,
 }
 
 /// Wire flag bits of [`WorkerConfig`].
@@ -61,6 +68,10 @@ impl WorkerConfig {
     /// to skip.
     pub const WIRE_LEN: usize = 8 + 8 + 8 + 1 + 4;
 
+    /// Record tail bytes appended when `read_fault` is set: a presence
+    /// byte plus the `u64` budget.
+    const FAULT_TAIL_LEN: usize = 1 + 8;
+
     /// Pack the engine flags into the wire byte.
     fn flags(&self) -> u8 {
         let backend = match self.backend {
@@ -84,14 +95,26 @@ impl WorkerConfig {
         }
     }
 
-    /// Encode one length-prefixed record.
+    /// Encode one length-prefixed record. The read-fault tail is
+    /// appended only when present, keeping fault-free records
+    /// byte-identical to PR 5's encoding.
     fn encode_record(&self, b: &mut BytesMut) {
-        b.put_u16_le(Self::WIRE_LEN as u16);
+        let len = Self::WIRE_LEN
+            + if self.read_fault.is_some() {
+                Self::FAULT_TAIL_LEN
+            } else {
+                0
+            };
+        b.put_u16_le(len as u16);
         b.put_u64_le(self.start);
         b.put_u64_le(self.end);
         b.put_u64_le(self.budget_edges);
         b.put_u8(self.flags());
         b.put_u32_le(self.io_latency_us);
+        if let Some(budget) = self.read_fault {
+            b.put_u8(1);
+            b.put_u64_le(budget);
+        }
     }
 
     /// Decode the fixed known fields shared by both wire generations.
@@ -105,6 +128,7 @@ impl WorkerConfig {
             scan_pruning: flags & FLAG_SCAN_PRUNING != 0,
             backend: Self::backend_from_flags(flags),
             io_latency_us: buf.get_u32_le(),
+            read_fault: None,
         }
     }
 
@@ -120,9 +144,111 @@ impl WorkerConfig {
                 Self::WIRE_LEN
             )));
         }
-        let cfg = Self::decode_fields(buf);
-        buf.advance(len - Self::WIRE_LEN);
+        let mut cfg = Self::decode_fields(buf);
+        let mut rest = len - Self::WIRE_LEN;
+        if rest >= Self::FAULT_TAIL_LEN {
+            let present = buf.get_u8() != 0;
+            let budget = buf.get_u64_le();
+            cfg.read_fault = present.then_some(budget);
+            rest -= Self::FAULT_TAIL_LEN;
+        }
+        buf.advance(rest);
         Ok(cfg)
+    }
+}
+
+/// A node-level fault directive injected by the master's
+/// [`FaultPlan`](crate::FaultPlan), executed by `serve_node` when the
+/// config arrives. On the wire it is a kind byte plus a `u32` argument
+/// inside the Config message's length-prefixed directives tail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NodeFault {
+    /// No injected fault.
+    #[default]
+    None,
+    /// Panic the node thread (a crashed process).
+    Panic,
+    /// Return from the serve loop, dropping the connection.
+    Drop,
+    /// Accept the config and go silent: no heartbeats, no results (a
+    /// wedged process). The node still honors `Shutdown`.
+    Stall,
+    /// Sleep this many milliseconds before starting work, while
+    /// heartbeats keep flowing (a slow node, not a dead one).
+    Delay(u32),
+}
+
+impl NodeFault {
+    fn wire_kind(self) -> (u8, u32) {
+        match self {
+            NodeFault::None => (0, 0),
+            NodeFault::Panic => (1, 0),
+            NodeFault::Drop => (2, 0),
+            NodeFault::Stall => (3, 0),
+            NodeFault::Delay(ms) => (4, ms),
+        }
+    }
+
+    fn from_wire(kind: u8, arg: u32) -> Self {
+        match kind {
+            1 => NodeFault::Panic,
+            2 => NodeFault::Drop,
+            3 => NodeFault::Stall,
+            4 => NodeFault::Delay(arg),
+            // Unknown kinds (a newer master) degrade to no fault: a
+            // node that cannot simulate a failure mode just works.
+            _ => NodeFault::None,
+        }
+    }
+}
+
+/// Runtime directives for one node dispatch, carried in a
+/// length-prefixed tail after the Config message's worker records
+/// (which PR 5-era decoders ignore, and whose absence this decoder
+/// defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NodeDirectives {
+    /// Milliseconds between `Progress` heartbeats while workers run;
+    /// `0` disables heartbeats (the PR 5 behaviour).
+    pub heartbeat_ms: u32,
+    /// Injected fault for this dispatch.
+    pub fault: NodeFault,
+}
+
+impl NodeDirectives {
+    /// Known tail bytes: heartbeat (u32), fault kind (u8) + arg (u32).
+    const WIRE_LEN: usize = 4 + 1 + 4;
+
+    fn encode_tail(&self, b: &mut BytesMut) {
+        b.put_u16_le(Self::WIRE_LEN as u16);
+        b.put_u32_le(self.heartbeat_ms);
+        let (kind, arg) = self.fault.wire_kind();
+        b.put_u8(kind);
+        b.put_u32_le(arg);
+    }
+
+    /// Decode the directives tail if present; a PR 5-era Config ends at
+    /// the worker records and yields the defaults.
+    fn decode_tail(buf: &mut Bytes) -> Result<Self> {
+        if buf.remaining() < 2 {
+            return Ok(Self::default());
+        }
+        let len = buf.get_u16_le() as usize;
+        need(buf, len)?;
+        if len < Self::WIRE_LEN {
+            // A shorter tail from some future pruned encoding: treat as
+            // absent rather than misparse.
+            buf.advance(len);
+            return Ok(Self::default());
+        }
+        let heartbeat_ms = buf.get_u32_le();
+        let kind = buf.get_u8();
+        let arg = buf.get_u32_le();
+        buf.advance(len - Self::WIRE_LEN);
+        Ok(NodeDirectives {
+            heartbeat_ms,
+            fault: NodeFault::from_wire(kind, arg),
+        })
     }
 }
 
@@ -171,6 +297,9 @@ pub enum Message {
         workers: Vec<WorkerConfig>,
         /// Whether to stream triangle lists back.
         listing: bool,
+        /// Heartbeat cadence and injected fault for this dispatch
+        /// (length-prefixed wire tail; defaults when absent).
+        directives: NodeDirectives,
     },
     /// Node → master: per-worker summaries.
     Results {
@@ -193,6 +322,16 @@ pub enum Message {
         /// Human-readable failure description.
         detail: String,
     },
+    /// Node → master: liveness heartbeat while workers run, so the
+    /// master can tell a slow node from a wedged one.
+    Progress {
+        /// Node id.
+        node: u32,
+        /// Monotonic heartbeat sequence number within the dispatch.
+        seq: u32,
+    },
+    /// Master → node: end the serve loop and exit cleanly.
+    Shutdown,
 }
 
 /// PR 3-era `Config` tag: fixed 29-byte worker records, no length
@@ -203,6 +342,8 @@ const TAG_TRIANGLES: u8 = 3;
 const TAG_NODE_ERROR: u8 = 4;
 /// Current `Config` tag: length-prefixed worker records.
 const TAG_CONFIG: u8 = 5;
+const TAG_PROGRESS: u8 = 6;
+const TAG_SHUTDOWN: u8 = 7;
 
 impl Message {
     /// Encode into a byte buffer.
@@ -214,6 +355,7 @@ impl Message {
                 graph_base,
                 workers,
                 listing,
+                directives,
             } => {
                 b.put_u8(TAG_CONFIG);
                 b.put_u32_le(*node);
@@ -223,6 +365,9 @@ impl Message {
                 for w in workers {
                     w.encode_record(&mut b);
                 }
+                // PR 5-era decoders stop at the last worker record and
+                // ignore this tail.
+                directives.encode_tail(&mut b);
             }
             Message::Results { node, workers } => {
                 b.put_u8(TAG_RESULTS);
@@ -262,6 +407,16 @@ impl Message {
                 b.put_u32_le(*node);
                 put_string(&mut b, detail);
             }
+            Message::Progress { node, seq } => {
+                b.put_u8(TAG_PROGRESS);
+                b.put_u32_le(*node);
+                b.put_u32_le(*seq);
+            }
+            Message::Shutdown => {
+                b.put_u8(TAG_SHUTDOWN);
+                // Filler id: every message carries a u32 after the tag.
+                b.put_u32_le(0);
+            }
         }
         b.freeze()
     }
@@ -282,11 +437,13 @@ impl Message {
                 let workers = (0..count)
                     .map(|_| WorkerConfig::decode_record(&mut buf))
                     .collect::<Result<Vec<_>>>()?;
+                let directives = NodeDirectives::decode_tail(&mut buf)?;
                 Ok(Message::Config {
                     node,
                     graph_base,
                     workers,
                     listing,
+                    directives,
                 })
             }
             TAG_CONFIG_LEGACY => {
@@ -306,6 +463,7 @@ impl Message {
                     graph_base,
                     workers,
                     listing,
+                    directives: NodeDirectives::default(),
                 })
             }
             TAG_RESULTS => {
@@ -343,6 +501,12 @@ impl Message {
                 let detail = get_string(&mut buf)?;
                 Ok(Message::NodeError { node, detail })
             }
+            TAG_PROGRESS => {
+                need(&buf, 4)?;
+                let seq = buf.get_u32_le();
+                Ok(Message::Progress { node, seq })
+            }
+            TAG_SHUTDOWN => Ok(Message::Shutdown),
             t => Err(ClusterError::Protocol(format!("unknown tag {t}"))),
         }
     }
@@ -412,6 +576,7 @@ mod tests {
                     scan_pruning: true,
                     backend: IoBackend::Blocking,
                     io_latency_us: 0,
+                    read_fault: None,
                 },
                 WorkerConfig {
                     start: 100,
@@ -420,6 +585,7 @@ mod tests {
                     scan_pruning: false,
                     backend: IoBackend::Prefetch,
                     io_latency_us: 50,
+                    read_fault: None,
                 },
                 WorkerConfig {
                     start: 220,
@@ -428,6 +594,7 @@ mod tests {
                     scan_pruning: true,
                     backend: IoBackend::Mmap,
                     io_latency_us: 7,
+                    read_fault: None,
                 },
                 WorkerConfig {
                     start: 300,
@@ -436,9 +603,11 @@ mod tests {
                     scan_pruning: true,
                     backend: IoBackend::Uring,
                     io_latency_us: 0,
+                    read_fault: None,
                 },
             ],
             listing: true,
+            directives: NodeDirectives::default(),
         };
         assert_eq!(Message::decode(msg.encode()).unwrap(), msg);
     }
@@ -476,6 +645,7 @@ mod tests {
                     scan_pruning: true,
                     backend: IoBackend::Blocking, // overlap_io = false
                     io_latency_us: 0,
+                    read_fault: None,
                 },
                 WorkerConfig {
                     start: 10,
@@ -484,6 +654,7 @@ mod tests {
                     scan_pruning: true,
                     backend: IoBackend::Prefetch, // overlap_io = true
                     io_latency_us: 50,
+                    read_fault: None,
                 },
             ]
         );
@@ -552,6 +723,7 @@ mod tests {
             scan_pruning: false,
             backend: IoBackend::Uring,
             io_latency_us: 50,
+            read_fault: None,
         };
         let mut b = BytesMut::new();
         cfg.encode_record(&mut b);
@@ -574,8 +746,10 @@ mod tests {
                 scan_pruning: true,
                 backend: IoBackend::Prefetch,
                 io_latency_us: 0,
+                read_fault: None,
             }],
             listing: false,
+            directives: NodeDirectives::default(),
         };
         // record cut mid-field
         let enc = msg.encode();
@@ -618,6 +792,145 @@ mod tests {
             detail: "disk on fire".into(),
         };
         assert_eq!(Message::decode(msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn progress_and_shutdown_round_trip() {
+        let msg = Message::Progress { node: 3, seq: 17 };
+        assert_eq!(Message::decode(msg.encode()).unwrap(), msg);
+        let msg = Message::Shutdown;
+        assert_eq!(Message::decode(msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn config_with_directives_and_read_fault_round_trips() {
+        let msg = Message::Config {
+            node: 2,
+            graph_base: "/data/node2/oriented".into(),
+            workers: vec![
+                WorkerConfig {
+                    start: 0,
+                    end: 64,
+                    budget_edges: 32,
+                    scan_pruning: true,
+                    backend: IoBackend::Prefetch,
+                    io_latency_us: 0,
+                    read_fault: Some(1000),
+                },
+                WorkerConfig {
+                    start: 64,
+                    end: 128,
+                    budget_edges: 32,
+                    scan_pruning: true,
+                    backend: IoBackend::Mmap,
+                    io_latency_us: 0,
+                    read_fault: None,
+                },
+            ],
+            listing: false,
+            directives: NodeDirectives {
+                heartbeat_ms: 250,
+                fault: NodeFault::Delay(40),
+            },
+        };
+        assert_eq!(Message::decode(msg.encode()).unwrap(), msg);
+        for fault in [
+            NodeFault::None,
+            NodeFault::Panic,
+            NodeFault::Drop,
+            NodeFault::Stall,
+        ] {
+            let msg = Message::Config {
+                node: 0,
+                graph_base: "/g".into(),
+                workers: vec![],
+                listing: true,
+                directives: NodeDirectives {
+                    heartbeat_ms: 0,
+                    fault,
+                },
+            };
+            assert_eq!(Message::decode(msg.encode()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn pr5_era_config_without_tails_still_decodes() {
+        // A Config exactly as PR 5 encoded it: current tag,
+        // length-prefixed 29-byte records, nothing after the last
+        // record. Directives default, no injected faults.
+        let mut b = BytesMut::new();
+        b.put_u8(5); // TAG_CONFIG
+        b.put_u32_le(4);
+        put_string(&mut b, "/data/node4/oriented");
+        b.put_u8(0);
+        b.put_u32_le(1);
+        b.put_u16_le(29);
+        b.put_u64_le(5);
+        b.put_u64_le(55);
+        b.put_u64_le(128);
+        b.put_u8(0b011); // pruning + prefetch
+        b.put_u32_le(0);
+        let decoded = Message::decode(b.freeze()).unwrap();
+        let Message::Config {
+            workers,
+            directives,
+            ..
+        } = decoded
+        else {
+            panic!("expected Config, got {decoded:?}");
+        };
+        assert_eq!(directives, NodeDirectives::default());
+        assert_eq!(workers[0].read_fault, None);
+        assert_eq!((workers[0].start, workers[0].end), (5, 55));
+    }
+
+    #[test]
+    fn pr5_era_decoder_ignores_new_tails() {
+        // Replays PR 5's Config decode loop (records only, trailing
+        // bytes never examined) against the current encoder's output:
+        // an old node handed a directives tail and a fault-bearing
+        // record still reads every field it knows.
+        let msg = Message::Config {
+            node: 6,
+            graph_base: "/data/node6/oriented".into(),
+            workers: vec![WorkerConfig {
+                start: 3,
+                end: 33,
+                budget_edges: 16,
+                scan_pruning: true,
+                backend: IoBackend::Uring,
+                io_latency_us: 9,
+                read_fault: Some(77),
+            }],
+            listing: true,
+            directives: NodeDirectives {
+                heartbeat_ms: 100,
+                fault: NodeFault::Panic,
+            },
+        };
+        let mut buf = msg.encode();
+        // -- PR 5 decode loop, verbatim logic --
+        assert_eq!(buf.get_u8(), 5);
+        assert_eq!(buf.get_u32_le(), 6);
+        let graph_base = get_string(&mut buf).unwrap();
+        let listing = buf.get_u8() != 0;
+        let count = buf.get_u32_le() as usize;
+        let mut workers = Vec::new();
+        for _ in 0..count {
+            let len = buf.get_u16_le() as usize;
+            assert!(len >= WorkerConfig::WIRE_LEN);
+            let w = WorkerConfig::decode_fields(&mut buf);
+            buf.advance(len - WorkerConfig::WIRE_LEN); // skip unknown tail
+            workers.push(w);
+        }
+        // -- end PR 5 loop: remaining bytes (directives) were ignored --
+        assert_eq!(graph_base, "/data/node6/oriented");
+        assert!(listing);
+        assert_eq!((workers[0].start, workers[0].end), (3, 33));
+        assert_eq!(workers[0].backend, IoBackend::Uring);
+        assert_eq!(workers[0].read_fault, None); // old decoder: unknown field
+        assert!(buf.remaining() > 0, "directives tail rides after records");
     }
 
     #[test]

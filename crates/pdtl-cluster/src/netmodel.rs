@@ -9,13 +9,14 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Byte counters for the four traffic classes of the protocol.
+/// Byte counters for the five traffic classes of the protocol.
 #[derive(Debug, Default)]
 pub struct NetTraffic {
     config_bytes: AtomicU64,
     graph_bytes: AtomicU64,
     result_bytes: AtomicU64,
     triangle_bytes: AtomicU64,
+    control_bytes: AtomicU64,
 }
 
 impl NetTraffic {
@@ -44,6 +45,13 @@ impl NetTraffic {
         self.triangle_bytes.fetch_add(bytes, Ordering::Relaxed);
     }
 
+    /// Record control-plane traffic (heartbeats, shutdowns) — liveness
+    /// overhead outside Theorem IV.3's three terms, counted separately
+    /// so the bound checks stay exact.
+    pub fn add_control(&self, bytes: u64) {
+        self.control_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
     /// Configuration bytes so far.
     pub fn config_bytes(&self) -> u64 {
         self.config_bytes.load(Ordering::Relaxed)
@@ -64,9 +72,18 @@ impl NetTraffic {
         self.triangle_bytes.load(Ordering::Relaxed)
     }
 
+    /// Control-plane bytes so far.
+    pub fn control_bytes(&self) -> u64 {
+        self.control_bytes.load(Ordering::Relaxed)
+    }
+
     /// All traffic.
     pub fn total_bytes(&self) -> u64 {
-        self.config_bytes() + self.graph_bytes() + self.result_bytes() + self.triangle_bytes()
+        self.config_bytes()
+            + self.graph_bytes()
+            + self.result_bytes()
+            + self.triangle_bytes()
+            + self.control_bytes()
     }
 }
 
@@ -116,11 +133,13 @@ mod tests {
         t.add_graph(1000);
         t.add_result(20);
         t.add_triangles(300);
+        t.add_control(7);
         assert_eq!(t.config_bytes(), 10);
         assert_eq!(t.graph_bytes(), 1000);
         assert_eq!(t.result_bytes(), 20);
         assert_eq!(t.triangle_bytes(), 300);
-        assert_eq!(t.total_bytes(), 1330);
+        assert_eq!(t.control_bytes(), 7);
+        assert_eq!(t.total_bytes(), 1337);
     }
 
     #[test]

@@ -1,10 +1,22 @@
 //! Worker-node logic.
 //!
-//! A node receives one [`Message::Config`], opens its local replica of
-//! the oriented graph, runs one MGT worker thread per configured core,
-//! and sends the results (and triangle batches, when listing) back to
-//! the master. Nodes are transport-agnostic: the same function serves an
-//! in-process simulated node and a TCP-connected remote process.
+//! A node serves a loop of [`Message::Config`] requests: for each one it
+//! opens its local replica of the oriented graph, runs one MGT worker
+//! thread per configured core, and sends the results (and triangle
+//! batches, when listing) back to the master — with periodic
+//! [`Message::Progress`] heartbeats while the workers run, so the master
+//! can tell a slow node from a wedged one. The loop ends on
+//! [`Message::Shutdown`] or when the master's endpoint goes away. Nodes
+//! are transport-agnostic: the same function serves an in-process
+//! simulated node and a TCP-connected remote process.
+//!
+//! Config messages may carry an injected [`NodeFault`] from the
+//! master's fault plan; the node executes it faithfully (panic, drop,
+//! stall, delay) so fault-tolerance tests exercise the real failure
+//! paths rather than mocks.
+
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
 
 use pdtl_core::balance::EdgeRange;
 use pdtl_core::mgt::{mgt_count_range_opt, MgtOptions};
@@ -14,28 +26,121 @@ use pdtl_core::WorkerReport;
 use pdtl_io::{IoStats, MemoryBudget};
 
 use crate::error::{ClusterError, Result};
-use crate::message::{Message, WorkerConfig, WorkerSummary};
+use crate::message::{Message, NodeDirectives, NodeFault, WorkerConfig, WorkerSummary};
 use crate::transport::Transport;
 
-/// Serve exactly one counting request arriving on `transport`.
-///
-/// Protocol: recv `Config` → (optionally send `Triangles`) → send
-/// `Results`, or send `NodeError` on failure.
-pub fn serve_node<T: Transport>(transport: &T) -> Result<()> {
-    let msg = transport.recv()?;
-    let Message::Config {
-        node,
-        graph_base,
-        workers,
-        listing,
-    } = msg
-    else {
-        return Err(ClusterError::Protocol(
-            "node expected a Config message".into(),
-        ));
-    };
+/// A raisable flag worker loops can wait on with a timeout, so the
+/// heartbeat thread both paces itself and wakes immediately on stop.
+struct StopFlag {
+    stopped: Mutex<bool>,
+    cv: Condvar,
+}
 
-    match run_workers(&graph_base, &workers, listing) {
+impl StopFlag {
+    fn new() -> Self {
+        StopFlag {
+            stopped: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Wait up to `d`; returns true once the flag is raised.
+    fn wait_for(&self, d: Duration) -> bool {
+        let guard = self.stopped.lock().unwrap_or_else(|e| e.into_inner());
+        let (guard, _) = self
+            .cv
+            .wait_timeout_while(guard, d, |stopped| !*stopped)
+            .unwrap_or_else(|e| e.into_inner());
+        *guard
+    }
+
+    fn raise(&self) {
+        *self.stopped.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Serve counting requests arriving on `transport` until the master
+/// sends [`Message::Shutdown`] or disconnects.
+///
+/// Per request: recv `Config` → (optionally send `Triangles`) → send
+/// `Results`, or send `NodeError` on failure — with `Progress`
+/// heartbeats in between when the config asks for them.
+pub fn serve_node<T: Transport>(transport: &T) -> Result<()> {
+    loop {
+        let msg = match transport.recv() {
+            Ok(m) => m,
+            // An idle node whose master went away shut down cleanly.
+            Err(ClusterError::Disconnected(_)) => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        match msg {
+            Message::Shutdown => return Ok(()),
+            Message::Config {
+                node,
+                graph_base,
+                workers,
+                listing,
+                directives,
+            } => match directives.fault {
+                NodeFault::Panic => {
+                    panic!("injected fault: node {node} panic")
+                }
+                NodeFault::Drop => return Ok(()),
+                // Wedged: no reply, no heartbeats; only Shutdown or a
+                // dropped endpoint ends the silence.
+                NodeFault::Stall => continue,
+                NodeFault::None | NodeFault::Delay(_) => {
+                    serve_one(transport, node, &graph_base, &workers, listing, directives)?;
+                }
+            },
+            other => {
+                return Err(ClusterError::Protocol(format!(
+                    "node expected Config or Shutdown, got {other:?}"
+                )))
+            }
+        }
+    }
+}
+
+/// Run one dispatch: heartbeats + (optional injected delay) + workers,
+/// then the reply messages. Heartbeats are fully joined before any
+/// reply is sent, so the master never sees `Progress` after `Results`.
+fn serve_one<T: Transport>(
+    transport: &T,
+    node: u32,
+    graph_base: &str,
+    workers: &[WorkerConfig],
+    listing: bool,
+    directives: NodeDirectives,
+) -> Result<()> {
+    let stop = StopFlag::new();
+    let outcome = std::thread::scope(|scope| {
+        if directives.heartbeat_ms > 0 {
+            let interval = Duration::from_millis(directives.heartbeat_ms as u64);
+            let (stop, transport) = (&stop, &transport);
+            scope.spawn(move || {
+                let mut seq = 0u32;
+                while !stop.wait_for(interval) {
+                    if transport.send(&Message::Progress { node, seq }).is_err() {
+                        break; // master gone; workers will notice too
+                    }
+                    seq = seq.wrapping_add(1);
+                }
+            });
+        }
+        if let NodeFault::Delay(ms) = directives.fault {
+            // A slow node, not a dead one: heartbeats keep flowing
+            // through the sleep.
+            stop.wait_for(Duration::from_millis(ms as u64));
+        }
+        let outcome = run_workers(graph_base, workers, listing);
+        // Raise before the scope joins the heartbeat thread, so the
+        // reply below is strictly after the last Progress.
+        stop.raise();
+        outcome
+    });
+    match outcome {
         Ok((summaries, triples)) => {
             if listing {
                 transport.send(&Message::Triangles { node, triples })?;
@@ -44,16 +149,15 @@ pub fn serve_node<T: Transport>(transport: &T) -> Result<()> {
                 node,
                 workers: summaries,
             })?;
-            Ok(())
         }
         Err(e) => {
             transport.send(&Message::NodeError {
                 node,
                 detail: e.to_string(),
             })?;
-            Ok(())
         }
     }
+    Ok(())
 }
 
 /// Run the node's worker threads; returns per-worker summaries and (when
@@ -85,6 +189,7 @@ pub fn run_workers(
                     scan_pruning: cfg.scan_pruning,
                     backend: cfg.backend,
                     io_latency: std::time::Duration::from_micros(cfg.io_latency_us as u64),
+                    read_fault: cfg.read_fault,
                 };
                 if listing {
                     let mut sink = CollectSink::default();
@@ -166,6 +271,18 @@ mod tests {
         )
     }
 
+    fn worker(start: u64, end: u64) -> WorkerConfig {
+        WorkerConfig {
+            start,
+            end,
+            budget_edges: 256,
+            scan_pruning: true,
+            backend: pdtl_io::IoBackend::default(),
+            io_latency_us: 0,
+            read_fault: None,
+        }
+    }
+
     #[test]
     fn node_serves_counting_request() {
         let (base, m_star, expected) = oriented_base("count");
@@ -178,28 +295,13 @@ mod tests {
             .send(&Message::Config {
                 node: 1,
                 graph_base: base,
-                workers: vec![
-                    WorkerConfig {
-                        start: 0,
-                        end: half,
-                        budget_edges: 256,
-                        scan_pruning: true,
-                        backend: pdtl_io::IoBackend::default(),
-                        io_latency_us: 0,
-                    },
-                    WorkerConfig {
-                        start: half,
-                        end: m_star,
-                        budget_edges: 256,
-                        scan_pruning: true,
-                        backend: pdtl_io::IoBackend::default(),
-                        io_latency_us: 0,
-                    },
-                ],
+                workers: vec![worker(0, half), worker(half, m_star)],
                 listing: false,
+                directives: NodeDirectives::default(),
             })
             .unwrap();
         let reply = master.recv().unwrap();
+        master.send(&Message::Shutdown).unwrap();
         handle.join().unwrap().unwrap();
 
         let Message::Results { node, workers } = reply else {
@@ -224,19 +326,18 @@ mod tests {
             .send(&Message::Config {
                 node: 2,
                 graph_base: base,
-                workers: vec![WorkerConfig {
-                    start: 0,
-                    end: m_star,
-                    budget_edges: 128,
-                    scan_pruning: true,
-                    backend: pdtl_io::IoBackend::default(),
-                    io_latency_us: 0,
+                workers: vec![{
+                    let mut w = worker(0, m_star);
+                    w.budget_edges = 128;
+                    w
                 }],
                 listing: true,
+                directives: NodeDirectives::default(),
             })
             .unwrap();
         let first = master.recv().unwrap();
         let second = master.recv().unwrap();
+        master.send(&Message::Shutdown).unwrap();
         handle.join().unwrap().unwrap();
 
         let Message::Triangles { triples, .. } = first else {
@@ -252,6 +353,174 @@ mod tests {
     }
 
     #[test]
+    fn node_serves_multiple_dispatches_until_shutdown() {
+        // The serve loop handles several Configs over one connection —
+        // the mechanism range reassignment rides on.
+        let (base, m_star, expected) = oriented_base("multi");
+        let traffic = NetTraffic::new();
+        let (master, remote) = in_proc_pair(traffic);
+        let handle = std::thread::spawn(move || serve_node(&remote));
+
+        let mut total = 0u64;
+        let half = m_star / 2;
+        for (start, end) in [(0, half), (half, m_star)] {
+            master
+                .send(&Message::Config {
+                    node: 1,
+                    graph_base: base.clone(),
+                    workers: vec![worker(start, end)],
+                    listing: false,
+                    directives: NodeDirectives::default(),
+                })
+                .unwrap();
+            let Message::Results { workers, .. } = master.recv().unwrap() else {
+                panic!("expected Results");
+            };
+            total += workers.iter().map(|w| w.triangles).sum::<u64>();
+        }
+        master.send(&Message::Shutdown).unwrap();
+        handle.join().unwrap().unwrap();
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn node_exits_cleanly_when_master_endpoint_drops() {
+        let traffic = NetTraffic::new();
+        let (master, remote) = in_proc_pair(traffic);
+        let handle = std::thread::spawn(move || serve_node(&remote));
+        drop(master);
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn node_heartbeats_while_working_and_stops_after_results() {
+        let (base, m_star, expected) = oriented_base("hb");
+        let traffic = NetTraffic::new();
+        let (master, remote) = in_proc_pair(traffic.clone());
+        let handle = std::thread::spawn(move || serve_node(&remote));
+
+        master
+            .send(&Message::Config {
+                node: 4,
+                graph_base: base,
+                workers: vec![worker(0, m_star)],
+                listing: false,
+                directives: NodeDirectives {
+                    heartbeat_ms: 1,
+                    // the injected delay guarantees at least one beat
+                    // fires before the workers finish
+                    fault: NodeFault::Delay(10),
+                },
+            })
+            .unwrap();
+        let mut beats = 0u32;
+        let total = loop {
+            match master.recv().unwrap() {
+                Message::Progress { node: 4, .. } => beats += 1,
+                Message::Results { workers, .. } => {
+                    break workers.iter().map(|w| w.triangles).sum::<u64>()
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        };
+        master.send(&Message::Shutdown).unwrap();
+        handle.join().unwrap().unwrap();
+        assert_eq!(total, expected);
+        assert!(beats >= 1, "delayed node should heartbeat, got {beats}");
+        assert!(traffic.control_bytes() > 0);
+    }
+
+    #[test]
+    fn node_executes_injected_faults() {
+        let (base, m_star, _) = oriented_base("flt");
+        // Drop: the serve loop returns Ok and the connection closes.
+        let (master, remote) = in_proc_pair(NetTraffic::new());
+        let handle = std::thread::spawn(move || serve_node(&remote));
+        master
+            .send(&Message::Config {
+                node: 1,
+                graph_base: base.clone(),
+                workers: vec![worker(0, m_star)],
+                listing: false,
+                directives: NodeDirectives {
+                    heartbeat_ms: 0,
+                    fault: NodeFault::Drop,
+                },
+            })
+            .unwrap();
+        handle.join().unwrap().unwrap();
+        assert!(matches!(master.recv(), Err(ClusterError::Disconnected(_))));
+
+        // Panic: the node thread dies with the injected message.
+        let (master, remote) = in_proc_pair(NetTraffic::new());
+        let handle = std::thread::spawn(move || serve_node(&remote));
+        master
+            .send(&Message::Config {
+                node: 2,
+                graph_base: base.clone(),
+                workers: vec![],
+                listing: false,
+                directives: NodeDirectives {
+                    heartbeat_ms: 0,
+                    fault: NodeFault::Panic,
+                },
+            })
+            .unwrap();
+        let err = ClusterError::node_panic(2, handle.join().unwrap_err());
+        assert!(err.to_string().contains("injected fault"), "{err}");
+
+        // Stall: silent until Shutdown.
+        let (master, remote) = in_proc_pair(NetTraffic::new());
+        let handle = std::thread::spawn(move || serve_node(&remote));
+        master
+            .send(&Message::Config {
+                node: 3,
+                graph_base: base,
+                workers: vec![worker(0, m_star)],
+                listing: false,
+                directives: NodeDirectives {
+                    heartbeat_ms: 1,
+                    fault: NodeFault::Stall,
+                },
+            })
+            .unwrap();
+        assert!(matches!(
+            master.recv_deadline(std::time::Duration::from_millis(40)),
+            Err(ClusterError::Timeout { .. })
+        ));
+        master.send(&Message::Shutdown).unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn node_reports_worker_read_fault_as_node_error() {
+        let (base, m_star, _) = oriented_base("sr");
+        let (master, remote) = in_proc_pair(NetTraffic::new());
+        let handle = std::thread::spawn(move || serve_node(&remote));
+        master
+            .send(&Message::Config {
+                node: 5,
+                graph_base: base,
+                workers: vec![{
+                    let mut w = worker(0, m_star);
+                    w.read_fault = Some(8);
+                    w
+                }],
+                listing: false,
+                directives: NodeDirectives::default(),
+            })
+            .unwrap();
+        let reply = master.recv().unwrap();
+        master.send(&Message::Shutdown).unwrap();
+        handle.join().unwrap().unwrap();
+        let Message::NodeError { node, detail } = reply else {
+            panic!("expected NodeError, got {reply:?}");
+        };
+        assert_eq!(node, 5);
+        assert!(detail.contains("injected short read"), "{detail}");
+    }
+
+    #[test]
     fn node_reports_errors_as_message() {
         let traffic = NetTraffic::new();
         let (master, remote) = in_proc_pair(traffic);
@@ -262,9 +531,11 @@ mod tests {
                 graph_base: "/nonexistent/graph".into(),
                 workers: vec![],
                 listing: false,
+                directives: NodeDirectives::default(),
             })
             .unwrap();
         let reply = master.recv().unwrap();
+        master.send(&Message::Shutdown).unwrap();
         handle.join().unwrap().unwrap();
         assert!(matches!(reply, Message::NodeError { node: 3, .. }));
     }

@@ -28,6 +28,8 @@ pub struct NodeReport {
     pub workers: Vec<WorkerSummary>,
     /// Node wall time from config receipt to results sent.
     pub wall: Duration,
+    /// Ranges this node absorbed from failed peers.
+    pub reassigned_ranges: u64,
 }
 
 impl NodeReport {
@@ -86,7 +88,7 @@ impl NodeReport {
     }
 }
 
-/// A snapshot of the four network traffic classes.
+/// A snapshot of the five network traffic classes.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NetSnapshot {
     /// Configuration bytes (`Θ(NP)`).
@@ -97,11 +99,21 @@ pub struct NetSnapshot {
     pub result: u64,
     /// Triangle-list bytes (`Θ(T)`).
     pub triangles: u64,
+    /// Control-plane bytes (heartbeats, shutdowns) — liveness overhead
+    /// outside Theorem IV.3's three terms.
+    pub control: u64,
 }
 
 impl NetSnapshot {
     /// All traffic.
     pub fn total(&self) -> u64 {
+        self.config + self.graph + self.result + self.triangles + self.control
+    }
+
+    /// The traffic Theorem IV.3 bounds: everything except the
+    /// control plane, whose heartbeat volume is a function of wall
+    /// time, not of `N`, `P` or `T`.
+    pub fn theorem_bytes(&self) -> u64 {
         self.config + self.graph + self.result + self.triangles
     }
 }
@@ -123,6 +135,12 @@ pub struct ClusterReport {
     pub wall: Duration,
     /// Collected triangles (listing mode only).
     pub listed: Option<Vec<(u32, u32, u32)>>,
+    /// Node dispatch retries performed (respawns after a failure).
+    pub retries: u64,
+    /// Worker ranges re-dispatched away from failed nodes.
+    pub reassigned_ranges: u64,
+    /// Nodes given up on after exhausting their retry budget.
+    pub failed_nodes: Vec<usize>,
 }
 
 impl ClusterReport {
@@ -215,6 +233,7 @@ mod tests {
                 .map(|(i, &w)| summary(i as u32, 5, w))
                 .collect(),
             wall: Duration::from_millis(*walls.iter().max().unwrap_or(&0)),
+            reassigned_ranges: 0,
         }
     }
 
@@ -229,9 +248,13 @@ mod tests {
                 graph: 10_000,
                 result: 200,
                 triangles: 0,
+                control: 50,
             },
             wall: Duration::from_millis(60),
             listed: None,
+            retries: 0,
+            reassigned_ranges: 0,
+            failed_nodes: vec![],
         }
     }
 
@@ -256,7 +279,9 @@ mod tests {
 
     #[test]
     fn net_snapshot_totals() {
-        assert_eq!(report().network.total(), 10_300);
+        assert_eq!(report().network.total(), 10_350);
+        // heartbeat overhead stays out of the theorem-bound classes
+        assert_eq!(report().network.theorem_bytes(), 10_300);
     }
 
     #[test]
@@ -280,6 +305,9 @@ mod tests {
             network: NetSnapshot::default(),
             wall: Duration::ZERO,
             listed: None,
+            retries: 0,
+            reassigned_ranges: 0,
+            failed_nodes: vec![],
         };
         assert_eq!(r.calc_wall(), Duration::ZERO);
         assert_eq!(r.avg_copy(), Duration::ZERO);

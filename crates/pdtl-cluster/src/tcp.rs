@@ -19,13 +19,16 @@ use crate::transport::TcpTransport;
 pub struct TcpNode {
     /// Address the node is listening on (connect the master here).
     pub addr: String,
+    /// Cluster id of the node, carried into panic errors.
+    pub id: usize,
     handle: std::thread::JoinHandle<Result<()>>,
 }
 
 impl TcpNode {
-    /// Bind a fresh loopback port and serve exactly one counting
-    /// request on it.
-    pub fn spawn(traffic: Arc<NetTraffic>) -> Result<TcpNode> {
+    /// Bind a fresh loopback port and serve counting requests on the
+    /// first accepted connection until the master shuts the node down.
+    /// `id` is the cluster node id, used for error attribution.
+    pub fn spawn(id: usize, traffic: Arc<NetTraffic>) -> Result<TcpNode> {
         let listener = TcpListener::bind("127.0.0.1:0")
             .map_err(|e| ClusterError::Io(pdtl_io::IoError::os("bind", "127.0.0.1:0", e)))?;
         let addr = listener
@@ -33,18 +36,20 @@ impl TcpNode {
             .map_err(|e| ClusterError::Io(pdtl_io::IoError::os("addr", "tcp", e)))?
             .to_string();
         let handle = std::thread::spawn(move || serve_one(listener, traffic));
-        Ok(TcpNode { addr, handle })
+        Ok(TcpNode { addr, id, handle })
     }
 
-    /// Wait for the node to finish its request.
+    /// Wait for the node to finish serving. A panicking node thread
+    /// surfaces as [`ClusterError::NodePanic`] with this node's id and
+    /// the panic payload.
     pub fn join(self) -> Result<()> {
         self.handle
             .join()
-            .map_err(|_| ClusterError::NodePanic(usize::MAX))?
+            .map_err(|payload| ClusterError::node_panic(self.id, payload))?
     }
 }
 
-/// Accept one connection on `listener` and serve one request.
+/// Accept one connection on `listener` and serve it until shutdown.
 pub fn serve_one(listener: TcpListener, traffic: Arc<NetTraffic>) -> Result<()> {
     let (stream, _) = listener
         .accept()
@@ -52,7 +57,7 @@ pub fn serve_one(listener: TcpListener, traffic: Arc<NetTraffic>) -> Result<()> 
     serve_stream(stream, traffic)
 }
 
-/// Serve one request on an established stream.
+/// Serve requests on an established stream until shutdown.
 pub fn serve_stream(stream: TcpStream, traffic: Arc<NetTraffic>) -> Result<()> {
     let transport = TcpTransport::from_stream(stream, traffic)?;
     serve_node(&transport)
@@ -61,7 +66,7 @@ pub fn serve_stream(stream: TcpStream, traffic: Arc<NetTraffic>) -> Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::message::{Message, WorkerConfig};
+    use crate::message::{Message, NodeDirectives, NodeFault, WorkerConfig};
     use crate::transport::Transport;
     use pdtl_core::orient::orient_to_disk;
     use pdtl_graph::gen::rmat::rmat;
@@ -80,7 +85,7 @@ mod tests {
         let (og, _) = orient_to_disk(&input, dir.join("oriented"), 2, &stats).unwrap();
 
         let traffic = NetTraffic::new();
-        let node = TcpNode::spawn(traffic.clone()).unwrap();
+        let node = TcpNode::spawn(1, traffic.clone()).unwrap();
         let master = TcpTransport::connect(&node.addr, traffic.clone()).unwrap();
         master
             .send(&Message::Config {
@@ -93,11 +98,14 @@ mod tests {
                     scan_pruning: true,
                     backend: pdtl_io::IoBackend::default(),
                     io_latency_us: 0,
+                    read_fault: None,
                 }],
                 listing: false,
+                directives: NodeDirectives::default(),
             })
             .unwrap();
         let reply = master.recv().unwrap();
+        master.send(&Message::Shutdown).unwrap();
         node.join().unwrap();
         let Message::Results { workers, .. } = reply else {
             panic!("expected Results, got {reply:?}");
@@ -105,5 +113,61 @@ mod tests {
         assert_eq!(workers[0].triangles, expected);
         assert!(traffic.config_bytes() > 0 && traffic.result_bytes() > 0);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tcp_node_join_carries_id_and_panic_payload() {
+        let traffic = NetTraffic::new();
+        let node = TcpNode::spawn(7, traffic.clone()).unwrap();
+        let master = TcpTransport::connect(&node.addr, traffic).unwrap();
+        master
+            .send(&Message::Config {
+                node: 7,
+                graph_base: "/g".into(),
+                workers: vec![],
+                listing: false,
+                directives: NodeDirectives {
+                    heartbeat_ms: 0,
+                    fault: NodeFault::Panic,
+                },
+            })
+            .unwrap();
+        let err = node.join().unwrap_err();
+        let ClusterError::NodePanic { node: id, detail } = err else {
+            panic!("expected NodePanic, got {err}");
+        };
+        assert_eq!(id, 7);
+        assert!(detail.contains("injected fault"), "{detail}");
+    }
+
+    #[test]
+    fn tcp_node_reports_error_end_to_end() {
+        // The NodeError path over a real socket: a bad replica path
+        // comes back as a protocol-level NodeError message, not a hang
+        // or a dropped connection.
+        let traffic = NetTraffic::new();
+        let node = TcpNode::spawn(3, traffic.clone()).unwrap();
+        let master = TcpTransport::connect(&node.addr, traffic.clone()).unwrap();
+        master
+            .send(&Message::Config {
+                node: 3,
+                graph_base: "/nonexistent/replica".into(),
+                workers: vec![],
+                listing: false,
+                directives: NodeDirectives::default(),
+            })
+            .unwrap();
+        let reply = master.recv().unwrap();
+        master.send(&Message::Shutdown).unwrap();
+        node.join().unwrap();
+        let Message::NodeError { node: id, detail } = reply else {
+            panic!("expected NodeError, got {reply:?}");
+        };
+        assert_eq!(id, 3);
+        assert!(!detail.is_empty());
+        assert!(
+            traffic.result_bytes() > 0,
+            "NodeError counts as result traffic"
+        );
     }
 }

@@ -5,13 +5,22 @@
 //! cluster — deterministic and dependency-free) or a real TCP socket
 //! (loopback or an actual network). Every sent message is charged to the
 //! shared [`NetTraffic`] counters by traffic class.
+//!
+//! Receives come in two flavours: blocking [`recv`](Transport::recv)
+//! and deadline-bounded [`recv_deadline`](Transport::recv_deadline),
+//! which the fault-tolerant runner polls so a dead or wedged node
+//! surfaces as [`ClusterError::Timeout`] instead of hanging the master
+//! forever. The TCP implementation buffers partial frames across
+//! timed-out reads, so a deadline expiring mid-frame never corrupts the
+//! stream.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
 use crate::error::{ClusterError, Result};
@@ -19,11 +28,16 @@ use crate::message::Message;
 use crate::netmodel::NetTraffic;
 
 /// A bidirectional, message-oriented endpoint.
-pub trait Transport: Send {
+pub trait Transport: Send + Sync {
     /// Send one message (counted).
     fn send(&self, msg: &Message) -> Result<()>;
     /// Receive the next message (blocking).
     fn recv(&self) -> Result<Message>;
+    /// Receive the next message, waiting at most `timeout`; returns
+    /// [`ClusterError::Timeout`] when nothing (complete) arrived in
+    /// time. Partial data read before the deadline is retained for the
+    /// next call.
+    fn recv_deadline(&self, timeout: Duration) -> Result<Message>;
 }
 
 fn charge(traffic: &NetTraffic, msg: &Message, bytes: u64) {
@@ -31,6 +45,7 @@ fn charge(traffic: &NetTraffic, msg: &Message, bytes: u64) {
         Message::Config { .. } => traffic.add_config(bytes),
         Message::Results { .. } | Message::NodeError { .. } => traffic.add_result(bytes),
         Message::Triangles { .. } => traffic.add_triangles(bytes),
+        Message::Progress { .. } | Message::Shutdown => traffic.add_control(bytes),
     }
 }
 
@@ -75,11 +90,95 @@ impl Transport for InProcTransport {
             .map_err(|_| ClusterError::Disconnected("in-proc peer"))?;
         Message::decode(raw)
     }
+
+    fn recv_deadline(&self, timeout: Duration) -> Result<Message> {
+        let raw = self.rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => ClusterError::Timeout {
+                peer: "in-proc peer",
+                after: timeout,
+            },
+            RecvTimeoutError::Disconnected => ClusterError::Disconnected("in-proc peer"),
+        })?;
+        Message::decode(raw)
+    }
+}
+
+/// Reader half of a [`TcpTransport`]: the stream plus an accumulation
+/// buffer so a deadline can expire mid-frame without losing the bytes
+/// already read.
+struct FrameReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    /// Extract one complete `[u32 len | payload]` frame from the front
+    /// of the buffer, if present.
+    fn take_frame(&mut self) -> Option<Bytes> {
+        if self.buf.len() < 4 {
+            return None;
+        }
+        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if self.buf.len() < 4 + len {
+            return None;
+        }
+        let payload = Bytes::from(&self.buf[4..4 + len]);
+        self.buf.drain(..4 + len);
+        Some(payload)
+    }
+
+    /// Read until a full frame is available, or `deadline` (when set)
+    /// passes. `None` blocks indefinitely.
+    fn recv_frame(&mut self, deadline: Option<Instant>) -> Result<Bytes> {
+        loop {
+            if let Some(payload) = self.take_frame() {
+                return Ok(payload);
+            }
+            let timeout = match deadline {
+                None => None,
+                Some(d) => {
+                    let Some(left) = d
+                        .checked_duration_since(Instant::now())
+                        .filter(|l| !l.is_zero())
+                    else {
+                        return Err(ClusterError::Timeout {
+                            peer: "tcp peer",
+                            after: Duration::ZERO,
+                        });
+                    };
+                    Some(left)
+                }
+            };
+            // `set_read_timeout(Some(ZERO))` is an error on std
+            // sockets; the filter above guarantees non-zero.
+            self.stream.set_read_timeout(timeout).map_err(|e| {
+                ClusterError::Io(pdtl_io::IoError::os("set_read_timeout", "tcp", e))
+            })?;
+            let mut chunk = [0u8; 16 * 1024];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(ClusterError::Disconnected("tcp peer")),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Err(ClusterError::Timeout {
+                        peer: "tcp peer",
+                        after: Duration::ZERO,
+                    })
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return Err(ClusterError::Disconnected("tcp peer")),
+            }
+        }
+    }
 }
 
 /// TCP transport endpoint with length-prefixed frames.
 pub struct TcpTransport {
-    reader: Mutex<TcpStream>,
+    reader: Mutex<FrameReader>,
     writer: Mutex<TcpStream>,
     traffic: Arc<NetTraffic>,
 }
@@ -91,7 +190,10 @@ impl TcpTransport {
             .try_clone()
             .map_err(|e| ClusterError::Io(pdtl_io::IoError::os("clone", "tcp", e)))?;
         Ok(Self {
-            reader: Mutex::new(reader),
+            reader: Mutex::new(FrameReader {
+                stream: reader,
+                buf: Vec::new(),
+            }),
             writer: Mutex::new(stream),
             traffic,
         })
@@ -102,6 +204,19 @@ impl TcpTransport {
         let stream = TcpStream::connect(addr)
             .map_err(|e| ClusterError::Io(pdtl_io::IoError::os("connect", addr, e)))?;
         Self::from_stream(stream, traffic)
+    }
+
+    fn recv_inner(&self, deadline: Option<Instant>, timeout: Duration) -> Result<Message> {
+        let mut r = self.reader.lock();
+        let payload = r.recv_frame(deadline).map_err(|e| match e {
+            // Stamp the caller's timeout onto the error for display.
+            ClusterError::Timeout { peer, .. } => ClusterError::Timeout {
+                peer,
+                after: timeout,
+            },
+            other => other,
+        })?;
+        Message::decode(payload)
     }
 }
 
@@ -117,22 +232,18 @@ impl Transport for TcpTransport {
     }
 
     fn recv(&self) -> Result<Message> {
-        let mut r = self.reader.lock();
-        let mut header = [0u8; 4];
-        r.read_exact(&mut header)
-            .map_err(|_| ClusterError::Disconnected("tcp peer"))?;
-        let len = u32::from_le_bytes(header) as usize;
-        let mut payload = vec![0u8; len];
-        r.read_exact(&mut payload)
-            .map_err(|_| ClusterError::Disconnected("tcp peer"))?;
-        Message::decode(Bytes::from(payload))
+        self.recv_inner(None, Duration::ZERO)
+    }
+
+    fn recv_deadline(&self, timeout: Duration) -> Result<Message> {
+        self.recv_inner(Some(Instant::now() + timeout), timeout)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::message::WorkerConfig;
+    use crate::message::{NodeDirectives, WorkerConfig};
 
     fn config_msg() -> Message {
         Message::Config {
@@ -145,8 +256,10 @@ mod tests {
                 scan_pruning: true,
                 backend: pdtl_io::IoBackend::default(),
                 io_latency_us: 0,
+                read_fault: None,
             }],
             listing: false,
+            directives: NodeDirectives::default(),
         }
     }
 
@@ -178,6 +291,42 @@ mod tests {
             Err(ClusterError::Disconnected(_))
         ));
         assert!(matches!(a.recv(), Err(ClusterError::Disconnected(_))));
+        assert!(matches!(
+            a.recv_deadline(Duration::from_secs(5)),
+            Err(ClusterError::Disconnected(_))
+        ));
+    }
+
+    #[test]
+    fn in_proc_deadline_distinguishes_timeout_from_disconnect() {
+        let traffic = NetTraffic::new();
+        let (a, b) = in_proc_pair(traffic);
+        assert!(matches!(
+            a.recv_deadline(Duration::from_millis(5)),
+            Err(ClusterError::Timeout { .. })
+        ));
+        b.send(&Message::Shutdown).unwrap();
+        assert_eq!(
+            a.recv_deadline(Duration::from_secs(5)).unwrap(),
+            Message::Shutdown
+        );
+    }
+
+    #[test]
+    fn control_traffic_classified() {
+        let traffic = NetTraffic::new();
+        let (a, b) = in_proc_pair(traffic.clone());
+        let hb = Message::Progress { node: 1, seq: 0 };
+        a.send(&hb).unwrap();
+        a.send(&Message::Shutdown).unwrap();
+        b.recv().unwrap();
+        b.recv().unwrap();
+        assert_eq!(
+            traffic.control_bytes(),
+            hb.wire_size() + Message::Shutdown.wire_size()
+        );
+        assert_eq!(traffic.config_bytes(), 0);
+        assert_eq!(traffic.result_bytes(), 0);
     }
 
     #[test]
@@ -213,5 +362,94 @@ mod tests {
         server.join().unwrap();
         // both directions counted, with 4-byte frame headers
         assert_eq!(traffic.config_bytes(), 2 * (msg.wire_size() + 4));
+    }
+
+    #[test]
+    fn tcp_deadline_times_out_then_delivers() {
+        let traffic = NetTraffic::new();
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let t2 = traffic.clone();
+        let (release_tx, release_rx) = unbounded::<()>();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let t = TcpTransport::from_stream(stream, t2).unwrap();
+            release_rx.recv().unwrap(); // hold the reply until told
+            t.send(&Message::Progress { node: 2, seq: 1 }).unwrap();
+        });
+        let client = TcpTransport::connect(&addr, traffic).unwrap();
+        // nothing sent yet: deadline expires as a Timeout
+        assert!(matches!(
+            client.recv_deadline(Duration::from_millis(10)),
+            Err(ClusterError::Timeout { .. })
+        ));
+        release_tx.send(()).unwrap();
+        // the same reader then delivers the full frame
+        assert_eq!(
+            client.recv_deadline(Duration::from_secs(30)).unwrap(),
+            Message::Progress { node: 2, seq: 1 }
+        );
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_partial_frame_survives_a_deadline() {
+        // A frame split across the deadline: the first half arrives,
+        // the deadline fires, then the second half completes the frame
+        // on the next call — framing must not desynchronize.
+        let traffic = NetTraffic::new();
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let (release_tx, release_rx) = unbounded::<()>();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let msg = Message::NodeError {
+                node: 5,
+                detail: "split across reads".into(),
+            };
+            let encoded = msg.encode();
+            let mut framed = (encoded.len() as u32).to_le_bytes().to_vec();
+            framed.extend_from_slice(&encoded);
+            let mid = framed.len() / 2;
+            stream.write_all(&framed[..mid]).unwrap();
+            stream.flush().unwrap();
+            release_rx.recv().unwrap();
+            stream.write_all(&framed[mid..]).unwrap();
+        });
+        let client = TcpTransport::connect(&addr, traffic).unwrap();
+        // long enough to surely buffer the first half, short enough to
+        // expire before the second half is released
+        let first = client.recv_deadline(Duration::from_millis(50));
+        assert!(
+            matches!(first, Err(ClusterError::Timeout { .. })),
+            "{first:?}"
+        );
+        release_tx.send(()).unwrap();
+        assert_eq!(
+            client.recv_deadline(Duration::from_secs(30)).unwrap(),
+            Message::NodeError {
+                node: 5,
+                detail: "split across reads".into(),
+            }
+        );
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_disconnect_reported_on_deadline_recv() {
+        let traffic = NetTraffic::new();
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            drop(stream); // immediate close
+        });
+        let client = TcpTransport::connect(&addr, NetTraffic::new()).unwrap();
+        drop(traffic);
+        server.join().unwrap();
+        assert!(matches!(
+            client.recv_deadline(Duration::from_secs(30)),
+            Err(ClusterError::Disconnected(_))
+        ));
     }
 }

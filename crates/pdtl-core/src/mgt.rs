@@ -75,8 +75,8 @@
 use std::sync::Arc;
 
 use pdtl_io::{
-    ChunkPrefetcher, CpuIoTimer, IoBackend, IoStats, MemoryBudget, MmapSource, PrefetchReader,
-    U32Reader, U32Source, UringSource,
+    ChunkPrefetcher, CpuIoTimer, FaultySource, IoBackend, IoStats, MemoryBudget, MmapSource,
+    PrefetchReader, U32Reader, U32Source, UringSource,
 };
 
 use crate::balance::EdgeRange;
@@ -132,6 +132,13 @@ pub struct MgtOptions {
     /// recreate the device waits the multi-pass bound is about. Zero
     /// (the default) measures the real hardware.
     pub io_latency: std::time::Duration,
+    /// Deterministic fault injection at the scan seam: deliver this
+    /// many `u32`s through the scan-pass [`U32Source`], then fail every
+    /// further read with an "injected short read" error
+    /// ([`pdtl_io::FaultySource`]). Emulates a truncated or dying
+    /// replica for the cluster's fault-tolerance tests; `None` (the
+    /// default) reads normally.
+    pub read_fault: Option<u64>,
 }
 
 impl Default for MgtOptions {
@@ -140,6 +147,7 @@ impl Default for MgtOptions {
             scan_pruning: true,
             backend: IoBackend::default_from_env(),
             io_latency: std::time::Duration::ZERO,
+            read_fault: None,
         }
     }
 }
@@ -179,16 +187,33 @@ pub fn mgt_count_range_opt<S: TriangleSink>(
         m.set_read_latency(opts.io_latency);
         Ok(m)
     };
+    // Scan readers are wrapped in `FaultySource` so `read_fault` can
+    // cut data delivery at a deterministic offset; an unset fault is an
+    // unlimited budget (a min + subtract per block read, no behavioral
+    // change).
+    let fault_budget = opts.read_fault.unwrap_or(u64::MAX);
     let run_prefetch = |sink: &mut S| -> Result<(u64, u64, u64)> {
-        let scan_reader = CopyScan(PrefetchReader::new(open()?)?);
+        let scan_reader = CopyScan(FaultySource::new(
+            PrefetchReader::new(open()?)?,
+            fault_budget,
+        ));
         let chunks = OverlappedChunks::new(open()?)?;
         mgt_disk_loop(og, range, budget, sink, opts, chunks, scan_reader)
     };
     let (triangles, cpu_ops, iterations) = match opts.backend.resolve() {
         IoBackend::Prefetch => run_prefetch(sink)?,
         IoBackend::Blocking => {
-            let scan_reader = CopyScan(open()?);
+            let scan_reader = CopyScan(FaultySource::new(open()?, fault_budget));
             let chunks = BlockingChunks(open()?);
+            mgt_disk_loop(og, range, budget, sink, opts, chunks, scan_reader)?
+        }
+        IoBackend::Mmap if opts.read_fault.is_some() => {
+            // The zero-copy `MmapScan` has no short-read seam; under an
+            // injected fault, scan through the copying wrapper instead
+            // (same bytes accounted, same data — only the borrow is
+            // traded for a copy).
+            let scan_reader = CopyScan(FaultySource::new(open_map()?, fault_budget));
+            let chunks = MmapChunks(open_map()?);
             mgt_disk_loop(og, range, budget, sink, opts, chunks, scan_reader)?
         }
         IoBackend::Mmap => {
@@ -210,7 +235,7 @@ pub fn mgt_count_range_opt<S: TriangleSink>(
             // count; genuine file errors resurface identically there.
             match open_uring().and_then(|scan| Ok((scan, open_uring()?))) {
                 Ok((scan, chunk)) => {
-                    let scan_reader = CopyScan(scan);
+                    let scan_reader = CopyScan(FaultySource::new(scan, fault_budget));
                     let chunks = UringChunks(chunk);
                     mgt_disk_loop(og, range, budget, sink, opts, chunks, scan_reader)?
                 }

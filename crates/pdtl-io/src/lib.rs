@@ -38,6 +38,7 @@ pub mod budget;
 pub mod cost;
 pub mod error;
 pub mod extsort;
+pub mod fault;
 pub mod mmap;
 pub mod prefetch;
 pub mod stats;
@@ -50,6 +51,7 @@ pub use budget::MemoryBudget;
 pub use cost::{CostModel, ModeledTime};
 pub use error::{IoError, Result};
 pub use extsort::{external_sort_u64, merge_sorted_files};
+pub use fault::FaultySource;
 pub use mmap::{mmap_supported, MmapSource};
 pub use prefetch::{ChunkPrefetcher, PrefetchReader};
 pub use stats::IoStats;

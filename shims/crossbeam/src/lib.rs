@@ -10,6 +10,7 @@ pub mod channel {
     use std::collections::VecDeque;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
 
     struct Inner<T> {
         queue: Mutex<VecDeque<T>>,
@@ -43,6 +44,29 @@ pub mod channel {
     }
 
     impl std::error::Error for RecvError {}
+
+    /// Error returned by [`Receiver::recv_timeout`]: either the wait
+    /// expired with the channel still empty, or every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed before a value arrived.
+        Timeout,
+        /// The channel is empty and all senders were dropped.
+        Disconnected,
+    }
+
+    impl std::fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => {
+                    f.write_str("receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
 
     /// Sending half of an unbounded channel.
     pub struct Sender<T> {
@@ -97,6 +121,34 @@ pub mod channel {
                     return Err(RecvError);
                 }
                 q = self.inner.ready.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Dequeue the next value, blocking at most `timeout`;
+        /// distinguishes an expired wait from a disconnected channel.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.inner.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                let Some(left) = deadline
+                    .checked_duration_since(now)
+                    .filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, _) = self
+                    .inner
+                    .ready
+                    .wait_timeout(q, left)
+                    .unwrap_or_else(|e| e.into_inner());
+                q = guard;
             }
         }
 
@@ -166,6 +218,30 @@ pub mod channel {
             drop(tx);
             assert_eq!(rx.recv(), Ok(7));
             assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn recv_timeout_returns_value_then_timeout_then_disconnect() {
+            let (tx, rx) = unbounded::<u8>();
+            tx.send(9).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(9));
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(1)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_secs(5)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn recv_timeout_wakes_on_cross_thread_send() {
+            let (tx, rx) = unbounded::<u8>();
+            let h = std::thread::spawn(move || tx.send(42).unwrap());
+            assert_eq!(rx.recv_timeout(Duration::from_secs(30)), Ok(42));
+            h.join().unwrap();
         }
 
         #[test]

@@ -10,7 +10,10 @@
 //! * `count <base> [--cores p] [--memory edges] [--naive]
 //!   [--backend blocking|prefetch|mmap|uring]` — multicore exact count;
 //! * `cluster <base> [--nodes n] [--cores p] [--memory edges] [--tcp]
-//!   [--backend b]` — distributed exact count;
+//!   [--backend b] [--fail-fast] [--fault plan]` — distributed exact
+//!   count; `--fail-fast` aborts on the first node failure instead of
+//!   retrying/reassigning, and `--fault` injects a deterministic fault
+//!   plan (same grammar as `PDTL_FAULT`, e.g. `seed=42;kill=1`);
 //! * `list <base> <out.bin> [--cores p]` — triangle listing to file.
 //!
 //! Parsing is kept dependency-free and fully unit-tested; the binary is
@@ -18,7 +21,7 @@
 
 use std::path::{Path, PathBuf};
 
-use pdtl_cluster::{ClusterConfig, ClusterRunner, TransportKind};
+use pdtl_cluster::{ClusterConfig, ClusterRunner, FailurePolicy, FaultPlan, TransportKind};
 use pdtl_core::mgt::MgtOptions;
 use pdtl_core::{BalanceStrategy, LocalConfig, LocalRunner};
 use pdtl_graph::datasets::Dataset;
@@ -83,6 +86,10 @@ pub enum Command {
         tcp: bool,
         /// I/O backend override (`None` = default / `PDTL_IO_BACKEND`).
         backend: Option<IoBackend>,
+        /// Abort on the first node failure instead of retrying.
+        fail_fast: bool,
+        /// Fault-injection plan (`None` = default / `PDTL_FAULT`).
+        fault: Option<String>,
     },
     /// Triangle listing to a binary file.
     List {
@@ -108,7 +115,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
             match name {
-                "naive" | "tcp" => {
+                "naive" | "tcp" | "fail-fast" => {
                     bools.insert(name.to_string());
                 }
                 _ => {
@@ -183,6 +190,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             memory: get_usize(&flags, "memory", 1 << 20)?,
             tcp: bools.contains("tcp"),
             backend: get_backend(&flags)?,
+            fail_fast: bools.contains("fail-fast"),
+            fault: flags.get("fault").cloned(),
         }),
         "list" => Ok(Command::List {
             base: need(1, "input base")?,
@@ -320,6 +329,8 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String> {
             memory,
             tcp,
             backend,
+            fail_fast,
+            fault,
         } => {
             let dg = DiskGraph::open(&base, &stats).map_err(|e| fail(&e))?;
             let mut mgt = MgtOptions::default();
@@ -336,6 +347,17 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String> {
                     TransportKind::InProc
                 },
                 mgt,
+                policy: if fail_fast {
+                    FailurePolicy::FailFast
+                } else {
+                    FailurePolicy::default()
+                },
+                fault: match fault {
+                    Some(plan) => {
+                        FaultPlan::parse(&plan).map_err(|e| format!("bad --fault: {e}"))?
+                    }
+                    None => FaultPlan::default_from_env(),
+                },
                 ..Default::default()
             })
             .map_err(|e| fail(&e))?;
@@ -351,7 +373,16 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String> {
                 report.avg_copy(),
                 report.network.total()
             )
-            .map_err(|e| fail(&e))
+            .map_err(|e| fail(&e))?;
+            if report.retries > 0 || !report.failed_nodes.is_empty() {
+                writeln!(
+                    out,
+                    "faults: {} retries, {} ranges reassigned, failed nodes {:?}",
+                    report.retries, report.reassigned_ranges, report.failed_nodes
+                )
+                .map_err(|e| fail(&e))?;
+            }
+            Ok(())
         }
         Command::List {
             base,
@@ -442,9 +473,33 @@ mod tests {
                 cores: 2,
                 memory: 1 << 20,
                 tcp: false,
-                backend: None
+                backend: None,
+                fail_fast: false,
+                fault: None
             }
         );
+    }
+
+    #[test]
+    fn parses_cluster_fault_flags() {
+        let cmd = parse(&args(
+            "cluster /tmp/g --tcp --fail-fast --fault seed=42;kill=1",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Cluster {
+                base: "/tmp/g".into(),
+                nodes: 2,
+                cores: 2,
+                memory: 1 << 20,
+                tcp: true,
+                backend: None,
+                fail_fast: true,
+                fault: Some("seed=42;kill=1".into())
+            }
+        );
+        assert!(parse(&args("cluster /tmp/g --fault")).is_err());
     }
 
     #[test]
@@ -549,6 +604,8 @@ mod tests {
                 memory: 512,
                 tcp: false,
                 backend: None,
+                fail_fast: false,
+                fault: None,
             },
             &mut out,
         )
