@@ -15,12 +15,12 @@ use pdtl_core::intersect::{
     intersect_gallop_visit, intersect_visit, intersect_visit_counted_with, SimdLevel,
 };
 use pdtl_core::mgt::{mgt_count_range_opt, mgt_in_memory, MgtOptions};
-use pdtl_core::orient::{orient_csr, orient_csr_threads, orient_to_disk};
+use pdtl_core::orient::{orient_csr, orient_csr_threads, orient_to_disk_with};
 use pdtl_core::sink::CountSink;
 use pdtl_core::{split_ranges, BalanceStrategy, EdgeRange};
 use pdtl_graph::gen::rmat::rmat;
 use pdtl_graph::DiskGraph;
-use pdtl_io::{IoBackend, IoStats, MemoryBudget, U32Writer};
+use pdtl_io::{Codec, IoBackend, IoStats, MemoryBudget, U32Writer};
 
 fn bench_intersection(c: &mut Criterion) {
     let mut group = c.benchmark_group("intersect");
@@ -111,7 +111,10 @@ fn bench_mgt_disk_backends(c: &mut Criterion) {
     std::fs::create_dir_all(&dir).unwrap();
     let stats = IoStats::new();
     let input = DiskGraph::write(&g, dir.join("g"), &stats).unwrap();
-    let (og, _) = orient_to_disk(&input, dir.join("oriented"), 2, &stats).unwrap();
+    // Backend rows are pinned to the raw codec so numbers stay
+    // comparable whatever PDTL_CODEC the run inherits; the codec rows
+    // in `bench_mgt_disk_codecs` measure the encoding choice.
+    let (og, _) = orient_to_disk_with(&input, dir.join("oriented"), 2, Codec::Raw, &stats).unwrap();
     let full = EdgeRange {
         start: 0,
         end: og.m_star(),
@@ -148,6 +151,62 @@ fn bench_mgt_disk_backends(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+fn bench_mgt_disk_codecs(c: &mut Criterion) {
+    let g = rmat(workload::DISK_RMAT.0, workload::DISK_RMAT.1).unwrap();
+    let dir = std::env::temp_dir().join(format!("pdtl-kernels-codecs-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let stats = IoStats::new();
+    let input = DiskGraph::write(&g, dir.join("g"), &stats).unwrap();
+    let budget = MemoryBudget::edges(workload::DISK_BUDGET);
+    let mut group = c.benchmark_group("mgt_disk");
+    for codec in Codec::ALL {
+        let (og, _) = orient_to_disk_with(
+            &input,
+            dir.join(format!("oriented-{codec}")),
+            2,
+            codec,
+            &stats,
+        )
+        .unwrap();
+        let full = EdgeRange {
+            start: 0,
+            end: og.m_star(),
+        };
+        group.bench_function(format!("codec_{codec}"), |b| {
+            b.iter(|| {
+                mgt_count_range_opt(
+                    black_box(&og),
+                    full,
+                    budget,
+                    &mut CountSink,
+                    IoStats::new(),
+                    MgtOptions::default(),
+                )
+                .unwrap()
+                .triangles
+            })
+        });
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn bench_varint_decode(c: &mut Criterion) {
+    let bytes = workload::varint_decode_input();
+    let mut group = c.benchmark_group("varint_decode");
+    group.bench_function("1m", |b| {
+        b.iter(|| {
+            let mut pos = 0usize;
+            let mut acc = 0u64;
+            while let Some(v) = pdtl_io::codec::decode_varint_u32(black_box(&bytes), &mut pos) {
+                acc += u64::from(v);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
 fn bench_writer(c: &mut Criterion) {
     let vals: Vec<u32> = (0..workload::WRITER_N as u32).collect();
     let dir = std::env::temp_dir().join(format!("pdtl-kernels-writer-{}", std::process::id()));
@@ -173,6 +232,8 @@ criterion_group!(
     bench_balance,
     bench_generators,
     bench_mgt_disk_backends,
+    bench_mgt_disk_codecs,
+    bench_varint_decode,
     bench_writer
 );
 criterion_main!(benches);

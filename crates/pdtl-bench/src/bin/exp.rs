@@ -6,12 +6,13 @@
 //! exp all --quick          # tiny graphs (CI / smoke test)
 //! exp kernels --json       # kernel micro-benches -> BENCH_kernels.json
 //! exp all --backend mmap   # force one I/O backend for every engine run
+//! exp all --codec delta-varint  # force one on-disk codec likewise
 //! ```
 
 use pdtl_bench::experiments::{run_experiment, ALL_EXPERIMENTS};
 use pdtl_bench::kernelbench;
 use pdtl_bench::workbench::{Profile, Workbench};
-use pdtl_io::IoBackend;
+use pdtl_io::{Codec, IoBackend};
 
 /// Where `exp kernels --json` writes its snapshot (the repo root when
 /// run via `cargo run`).
@@ -35,6 +36,21 @@ fn main() {
         std::env::set_var(pdtl_io::BACKEND_ENV, value);
         args.drain(i..=i + 1);
     }
+    // `--codec <c>` likewise pins the on-disk graph codec via the
+    // PDTL_CODEC env override (consumed by `MgtOptions::default`). The
+    // dedicated `mgt_disk/codec_*` rows still measure both explicitly.
+    if let Some(i) = args.iter().position(|a| a == "--codec") {
+        let Some(value) = args.get(i + 1) else {
+            eprintln!("--codec needs a value (raw|delta-varint)");
+            std::process::exit(2);
+        };
+        if Codec::parse(value).is_none() {
+            eprintln!("bad --codec {value:?} (raw|delta-varint)");
+            std::process::exit(2);
+        }
+        std::env::set_var(pdtl_io::CODEC_ENV, value);
+        args.drain(i..=i + 1);
+    }
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
     let json = args.iter().any(|a| a == "--json");
     let ids: Vec<String> = args
@@ -43,20 +59,25 @@ fn main() {
         .cloned()
         .collect();
     if ids.is_empty() {
-        eprintln!("usage: exp <all | kernels | id...> [--quick] [--json] [--backend b]");
+        eprintln!(
+            "usage: exp <all | kernels | id...> [--quick] [--json] [--backend b] [--codec c]"
+        );
         eprintln!("experiment ids: {}", ALL_EXPERIMENTS.join(" "));
         std::process::exit(2);
     }
 
     if ids.iter().any(|i| i == "kernels") {
-        // The SIMD feature level goes into the regeneration log so a
-        // BENCH_kernels.json diff is attributable to hardware (a
-        // snapshot from an SSE2-only runner is not comparable to an
-        // AVX2 one).
+        // The SIMD feature level, resolved I/O backend, and resolved
+        // codec go into the regeneration log so a BENCH_kernels.json
+        // diff is attributable to the environment (a snapshot from an
+        // SSE2-only runner is not comparable to an AVX2 one, and a
+        // delta-varint default shifts every engine row).
         println!(
-            "[simd: {} (host supports {})]",
+            "[simd: {} (host supports {})] [backend: {}] [codec: {}]",
             pdtl_core::intersect::simd_level(),
             pdtl_core::intersect::SimdLevel::detect(),
+            IoBackend::default_from_env().resolve(),
+            Codec::default_from_env(),
         );
         let start = std::time::Instant::now();
         let results = kernelbench::run_kernel_benches();

@@ -21,12 +21,12 @@ use pdtl_core::intersect::{
     intersect_gallop_visit, intersect_visit, intersect_visit_counted_with, SimdLevel,
 };
 use pdtl_core::mgt::{mgt_count_range_opt, mgt_in_memory, MgtOptions};
-use pdtl_core::orient::{orient_csr, orient_csr_threads, orient_to_disk};
+use pdtl_core::orient::{orient_csr, orient_csr_threads, orient_to_disk_with};
 use pdtl_core::sink::CountSink;
 use pdtl_core::{split_ranges, BalanceStrategy, EdgeRange};
 use pdtl_graph::gen::rmat::rmat;
 use pdtl_graph::DiskGraph;
-use pdtl_io::{IoBackend, IoStats, MemoryBudget, U32Writer};
+use pdtl_io::{Codec, IoBackend, IoStats, MemoryBudget, U32Writer};
 
 /// The kernel workload, defined once so the criterion target
 /// (`benches/kernels.rs`) and this JSON runner measure the *same*
@@ -58,6 +58,23 @@ pub mod workload {
     pub const DISK_SIM_LATENCY_US: u64 = 50;
     /// Values written by the `u32_writer/write_all_1m` throughput case.
     pub const WRITER_N: usize = 1 << 20;
+    /// Values decoded by the `varint_decode/1m` hot-loop row.
+    pub const VARINT_DECODE_N: usize = 1 << 20;
+
+    /// The delta+varint byte stream of the `varint_decode` row: one
+    /// strictly-increasing run with mixed 1–2 byte gap encodings, the
+    /// shape rank-space out-lists produce.
+    pub fn varint_decode_input() -> Vec<u8> {
+        let mut vals = Vec::with_capacity(VARINT_DECODE_N);
+        let mut v = 0u32;
+        for i in 0..VARINT_DECODE_N as u32 {
+            v += 1 + (i % 13) * 11;
+            vals.push(v);
+        }
+        let mut bytes = Vec::new();
+        pdtl_io::codec::encode_run(&vals, &mut bytes).expect("encode varint fixture");
+        bytes
+    }
 
     /// A sorted id set of `n` values with the given stride/offset.
     pub fn sorted_set(n: usize, stride: u32, offset: u32) -> Vec<u32> {
@@ -194,7 +211,11 @@ pub fn run_kernel_benches() -> Vec<BenchResult> {
         let g = rmat(workload::DISK_RMAT.0, workload::DISK_RMAT.1).expect("rmat");
         let stats = IoStats::new();
         let input = DiskGraph::write(&g, dir.join("g"), &stats).expect("write");
-        let (og, _) = orient_to_disk(&input, dir.join("oriented"), 2, &stats).expect("orient");
+        // The backend rows are pinned to the raw codec so snapshots
+        // stay comparable whatever PDTL_CODEC the run inherits; the
+        // codec rows below measure the encoding choice explicitly.
+        let (og, _) = orient_to_disk_with(&input, dir.join("oriented"), 2, Codec::Raw, &stats)
+            .expect("orient");
         let full = EdgeRange {
             start: 0,
             end: og.m_star(),
@@ -221,6 +242,49 @@ pub fn run_kernel_benches() -> Vec<BenchResult> {
                 ));
             }
         }
+
+        // codec ablation: the same multi-pass run (default backend)
+        // over each on-disk encoding — the delta-varint row's smaller
+        // bytes_read is the Theorem IV.2 win the snapshot tracks.
+        for codec in Codec::ALL {
+            let (og_c, _) = orient_to_disk_with(
+                &input,
+                dir.join(format!("oriented-{codec}")),
+                2,
+                codec,
+                &stats,
+            )
+            .expect("orient");
+            let full_c = EdgeRange {
+                start: 0,
+                end: og_c.m_star(),
+            };
+            out.push(time_one(&format!("mgt_disk/codec_{codec}"), window, || {
+                mgt_count_range_opt(
+                    &og_c,
+                    full_c,
+                    budget,
+                    &mut CountSink,
+                    IoStats::new(),
+                    MgtOptions::default(),
+                )
+                .expect("mgt run")
+                .triangles
+            }));
+        }
+    }
+
+    // varint decode throughput: the codec layer's hot loop on its own
+    {
+        let bytes = workload::varint_decode_input();
+        out.push(time_one("varint_decode/1m", window, || {
+            let mut pos = 0usize;
+            let mut acc = 0u64;
+            while let Some(v) = pdtl_io::codec::decode_varint_u32(&bytes, &mut pos) {
+                acc += u64::from(v);
+            }
+            acc
+        }));
     }
 
     // stream-writer throughput (the bulk `write_all` fast path)
@@ -305,6 +369,10 @@ mod tests {
             assert!(json.contains(&format!("\"mgt_disk_simlat50us/backend_{backend}\"")));
         }
         assert!(json.contains("\"orient_csr_rmat10/cores_2\""));
+        for codec in ["raw", "delta-varint"] {
+            assert!(json.contains(&format!("\"mgt_disk/codec_{codec}\"")));
+        }
+        assert!(json.contains("\"varint_decode/1m\""));
         assert!(json.contains("\"intersect/linear_scalar/1000x1000\""));
         assert!(json.contains("\"u32_writer/write_all_1m\""));
         // one "name": value line per bench, no trailing comma

@@ -6,7 +6,7 @@
 //! listing term of Theorem IV.3 are measured from these encodings.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use pdtl_io::IoBackend;
+use pdtl_io::{Codec, IoBackend};
 
 use crate::error::{ClusterError, Result};
 
@@ -44,6 +44,14 @@ pub struct WorkerConfig {
     /// only encoded when set, so fault-free records stay byte-identical
     /// to PR 5's.
     pub read_fault: Option<u64>,
+    /// On-disk codec the worker's node writes its oriented replica in
+    /// (`MgtOptions::codec`). Rides the record tail *after* the fault
+    /// tail — tail fields are positional, so the fault tail is emitted
+    /// (presence byte 0) whenever the codec needs encoding — and is
+    /// only encoded when not [`Codec::Raw`], keeping default records
+    /// byte-identical to PR 5's and fault-only records to PR 7's.
+    /// Unknown discriminants from newer encoders decode as `Raw`.
+    pub codec: Codec,
 }
 
 /// Wire flag bits of [`WorkerConfig`].
@@ -72,6 +80,10 @@ impl WorkerConfig {
     /// byte plus the `u64` budget.
     const FAULT_TAIL_LEN: usize = 1 + 8;
 
+    /// Record tail bytes appended after the fault tail when the codec
+    /// is not [`Codec::Raw`]: the codec discriminant.
+    const CODEC_TAIL_LEN: usize = 1;
+
     /// Pack the engine flags into the wire byte.
     fn flags(&self) -> u8 {
         let backend = match self.backend {
@@ -95,25 +107,30 @@ impl WorkerConfig {
         }
     }
 
-    /// Encode one length-prefixed record. The read-fault tail is
-    /// appended only when present, keeping fault-free records
-    /// byte-identical to PR 5's encoding.
+    /// Encode one length-prefixed record. Tail fields are positional
+    /// and appended only as far as needed: nothing for a fault-free
+    /// `Raw` record (byte-identical to PR 5), the fault tail alone for
+    /// a fault-bearing `Raw` record (byte-identical to PR 7), and the
+    /// fault tail (presence byte 0 when no fault) followed by the
+    /// codec byte for a non-raw codec.
     fn encode_record(&self, b: &mut BytesMut) {
+        let codec_tail = self.codec != Codec::Raw;
+        let fault_tail = self.read_fault.is_some() || codec_tail;
         let len = Self::WIRE_LEN
-            + if self.read_fault.is_some() {
-                Self::FAULT_TAIL_LEN
-            } else {
-                0
-            };
+            + if fault_tail { Self::FAULT_TAIL_LEN } else { 0 }
+            + if codec_tail { Self::CODEC_TAIL_LEN } else { 0 };
         b.put_u16_le(len as u16);
         b.put_u64_le(self.start);
         b.put_u64_le(self.end);
         b.put_u64_le(self.budget_edges);
         b.put_u8(self.flags());
         b.put_u32_le(self.io_latency_us);
-        if let Some(budget) = self.read_fault {
-            b.put_u8(1);
-            b.put_u64_le(budget);
+        if fault_tail {
+            b.put_u8(u8::from(self.read_fault.is_some()));
+            b.put_u64_le(self.read_fault.unwrap_or(0));
+        }
+        if codec_tail {
+            b.put_u8(self.codec.discriminant());
         }
     }
 
@@ -129,6 +146,7 @@ impl WorkerConfig {
             backend: Self::backend_from_flags(flags),
             io_latency_us: buf.get_u32_le(),
             read_fault: None,
+            codec: Codec::Raw,
         }
     }
 
@@ -151,6 +169,12 @@ impl WorkerConfig {
             let budget = buf.get_u64_le();
             cfg.read_fault = present.then_some(budget);
             rest -= Self::FAULT_TAIL_LEN;
+        }
+        if rest >= Self::CODEC_TAIL_LEN {
+            // Unknown discriminants (a newer master's codec) degrade to
+            // Raw: the node still writes a replica every engine reads.
+            cfg.codec = Codec::from_discriminant(buf.get_u8()).unwrap_or(Codec::Raw);
+            rest -= Self::CODEC_TAIL_LEN;
         }
         buf.advance(rest);
         Ok(cfg)
@@ -577,6 +601,7 @@ mod tests {
                     backend: IoBackend::Blocking,
                     io_latency_us: 0,
                     read_fault: None,
+                    codec: Codec::Raw,
                 },
                 WorkerConfig {
                     start: 100,
@@ -586,6 +611,7 @@ mod tests {
                     backend: IoBackend::Prefetch,
                     io_latency_us: 50,
                     read_fault: None,
+                    codec: Codec::Raw,
                 },
                 WorkerConfig {
                     start: 220,
@@ -595,6 +621,7 @@ mod tests {
                     backend: IoBackend::Mmap,
                     io_latency_us: 7,
                     read_fault: None,
+                    codec: Codec::Raw,
                 },
                 WorkerConfig {
                     start: 300,
@@ -604,6 +631,7 @@ mod tests {
                     backend: IoBackend::Uring,
                     io_latency_us: 0,
                     read_fault: None,
+                    codec: Codec::Raw,
                 },
             ],
             listing: true,
@@ -646,6 +674,7 @@ mod tests {
                     backend: IoBackend::Blocking, // overlap_io = false
                     io_latency_us: 0,
                     read_fault: None,
+                    codec: Codec::Raw,
                 },
                 WorkerConfig {
                     start: 10,
@@ -655,6 +684,7 @@ mod tests {
                     backend: IoBackend::Prefetch, // overlap_io = true
                     io_latency_us: 50,
                     read_fault: None,
+                    codec: Codec::Raw,
                 },
             ]
         );
@@ -724,6 +754,7 @@ mod tests {
             backend: IoBackend::Uring,
             io_latency_us: 50,
             read_fault: None,
+            codec: Codec::Raw,
         };
         let mut b = BytesMut::new();
         cfg.encode_record(&mut b);
@@ -747,6 +778,7 @@ mod tests {
                 backend: IoBackend::Prefetch,
                 io_latency_us: 0,
                 read_fault: None,
+                codec: Codec::Raw,
             }],
             listing: false,
             directives: NodeDirectives::default(),
@@ -816,6 +848,7 @@ mod tests {
                     backend: IoBackend::Prefetch,
                     io_latency_us: 0,
                     read_fault: Some(1000),
+                    codec: Codec::Raw,
                 },
                 WorkerConfig {
                     start: 64,
@@ -825,6 +858,7 @@ mod tests {
                     backend: IoBackend::Mmap,
                     io_latency_us: 0,
                     read_fault: None,
+                    codec: Codec::Raw,
                 },
             ],
             listing: false,
@@ -902,6 +936,7 @@ mod tests {
                 backend: IoBackend::Uring,
                 io_latency_us: 9,
                 read_fault: Some(77),
+                codec: Codec::Raw,
             }],
             listing: true,
             directives: NodeDirectives {
@@ -931,6 +966,129 @@ mod tests {
         assert_eq!(workers[0].backend, IoBackend::Uring);
         assert_eq!(workers[0].read_fault, None); // old decoder: unknown field
         assert!(buf.remaining() > 0, "directives tail rides after records");
+    }
+
+    #[test]
+    fn codec_rides_the_record_tail() {
+        // The codec byte round-trips in every fault combination, and
+        // the tail stays positional: raw fault-free records are 29
+        // bytes (PR 5 byte-identity), raw fault-bearing records 38
+        // (PR 7 byte-identity), and a non-raw codec always pays the
+        // full 39 — fault tail (presence byte 0 when unset) first,
+        // codec byte after.
+        for (read_fault, codec, expect_len) in [
+            (None, Codec::Raw, 29usize),
+            (Some(77), Codec::Raw, 38),
+            (None, Codec::DeltaVarint, 39),
+            (Some(77), Codec::DeltaVarint, 39),
+        ] {
+            let cfg = WorkerConfig {
+                start: 5,
+                end: 500,
+                budget_edges: 256,
+                scan_pruning: true,
+                backend: IoBackend::Prefetch,
+                io_latency_us: 3,
+                read_fault,
+                codec,
+            };
+            let mut b = BytesMut::new();
+            cfg.encode_record(&mut b);
+            let encoded = b.freeze();
+            assert_eq!(
+                encoded.len(),
+                2 + expect_len,
+                "{read_fault:?} {codec}: record length"
+            );
+            let mut buf = encoded;
+            assert_eq!(WorkerConfig::decode_record(&mut buf).unwrap(), cfg);
+        }
+    }
+
+    #[test]
+    fn pr7_era_decoder_reads_the_fault_through_the_codec_tail() {
+        // Replays PR 7's decode loop (known fields + fault tail, then
+        // advance whatever remains) against the current encoder: a
+        // node that predates the codec field still reads the range,
+        // flags and injected fault of a delta-varint record, and
+        // treats the codec byte as an unknown tail. The fault tail
+        // being emitted with presence byte 0 whenever the codec needs
+        // encoding is exactly what keeps the old decoder from
+        // misparsing the codec byte as a fault presence flag.
+        let cfg = WorkerConfig {
+            start: 11,
+            end: 111,
+            budget_edges: 64,
+            scan_pruning: true,
+            backend: IoBackend::Uring,
+            io_latency_us: 9,
+            read_fault: Some(1234),
+            codec: Codec::DeltaVarint,
+        };
+        let mut b = BytesMut::new();
+        cfg.encode_record(&mut b);
+        let mut buf = b.freeze();
+        // -- PR 7 decode loop, verbatim logic --
+        let len = buf.get_u16_le() as usize;
+        assert!(len >= WorkerConfig::WIRE_LEN);
+        let mut w = WorkerConfig::decode_fields(&mut buf);
+        let mut rest = len - WorkerConfig::WIRE_LEN;
+        if rest >= WorkerConfig::FAULT_TAIL_LEN {
+            let present = buf.get_u8() != 0;
+            let budget = buf.get_u64_le();
+            w.read_fault = present.then_some(budget);
+            rest -= WorkerConfig::FAULT_TAIL_LEN;
+        }
+        buf.advance(rest); // the codec byte, unknown to PR 7
+                           // -- end PR 7 loop --
+        assert_eq!((w.start, w.end), (11, 111));
+        assert_eq!(w.backend, IoBackend::Uring);
+        assert_eq!(w.read_fault, Some(1234));
+        assert_eq!(w.codec, Codec::Raw, "old decoder: unknown field");
+        assert_eq!(buf.remaining(), 0);
+
+        // The fault-free variant too: presence byte 0 must decode as
+        // "no fault" on PR 7, not as a truncated tail.
+        let mut b = BytesMut::new();
+        WorkerConfig {
+            read_fault: None,
+            ..cfg
+        }
+        .encode_record(&mut b);
+        let mut buf = b.freeze();
+        let len = buf.get_u16_le() as usize;
+        let mut w = WorkerConfig::decode_fields(&mut buf);
+        let mut rest = len - WorkerConfig::WIRE_LEN;
+        if rest >= WorkerConfig::FAULT_TAIL_LEN {
+            let present = buf.get_u8() != 0;
+            let budget = buf.get_u64_le();
+            w.read_fault = present.then_some(budget);
+            rest -= WorkerConfig::FAULT_TAIL_LEN;
+        }
+        buf.advance(rest);
+        assert_eq!(w.read_fault, None);
+    }
+
+    #[test]
+    fn unknown_codec_discriminant_degrades_to_raw() {
+        // A newer master's third codec: the fault tail plus an
+        // unassigned codec byte must decode, with the codec degraded
+        // to Raw rather than rejected — the node still writes a
+        // replica every engine can read.
+        let mut b = BytesMut::new();
+        b.put_u16_le((WorkerConfig::WIRE_LEN + 9 + 1) as u16);
+        b.put_u64_le(0);
+        b.put_u64_le(10);
+        b.put_u64_le(4);
+        b.put_u8(0b011);
+        b.put_u32_le(0);
+        b.put_u8(0); // fault tail: absent
+        b.put_u64_le(0);
+        b.put_u8(250); // unassigned codec discriminant
+        let mut buf = b.freeze();
+        let cfg = WorkerConfig::decode_record(&mut buf).unwrap();
+        assert_eq!(cfg.codec, Codec::Raw);
+        assert_eq!(cfg.read_fault, None);
     }
 
     #[test]

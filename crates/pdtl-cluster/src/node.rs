@@ -190,6 +190,7 @@ pub fn run_workers(
                     backend: cfg.backend,
                     io_latency: std::time::Duration::from_micros(cfg.io_latency_us as u64),
                     read_fault: cfg.read_fault,
+                    codec: cfg.codec,
                 };
                 if listing {
                     let mut sink = CollectSink::default();
@@ -280,6 +281,7 @@ mod tests {
             backend: pdtl_io::IoBackend::default(),
             io_latency_us: 0,
             read_fault: None,
+            codec: pdtl_io::Codec::Raw,
         }
     }
 

@@ -46,7 +46,7 @@ use std::time::{Duration, Instant};
 
 use pdtl_core::balance::{split_ranges, BalanceStrategy};
 use pdtl_core::mgt::MgtOptions;
-use pdtl_core::orient::orient_to_disk;
+use pdtl_core::orient::orient_to_disk_with;
 use pdtl_graph::DiskGraph;
 use pdtl_io::{IoStats, MemoryBudget};
 
@@ -317,6 +317,7 @@ impl Gather<'_> {
                     backend: self.cfg.mgt.backend,
                     io_latency_us: self.cfg.mgt.io_latency.as_micros().min(u32::MAX as u128) as u32,
                     read_fault,
+                    codec: self.cfg.mgt.codec,
                 }
             })
             .collect()
@@ -809,8 +810,13 @@ impl ClusterRunner {
 
         // 1. Orientation, once, on the master's cores.
         let oriented_base = work_dir.join("oriented");
-        let (og, orientation) =
-            orient_to_disk(input, &oriented_base, cfg.cores_per_node, &master_stats)?;
+        let (og, orientation) = orient_to_disk_with(
+            input,
+            &oriented_base,
+            cfg.cores_per_node,
+            cfg.mgt.codec,
+            &master_stats,
+        )?;
 
         // 2. N*P contiguous ranges.
         let in_degrees = og.in_degrees().ok_or_else(|| {

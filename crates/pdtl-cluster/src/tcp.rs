@@ -99,6 +99,7 @@ mod tests {
                     backend: pdtl_io::IoBackend::default(),
                     io_latency_us: 0,
                     read_fault: None,
+                    codec: pdtl_io::Codec::Raw,
                 }],
                 listing: false,
                 directives: NodeDirectives::default(),

@@ -18,7 +18,7 @@ use crate::balance::{split_ranges, BalanceStrategy};
 use crate::error::{CoreError, Result};
 use crate::metrics::RunReport;
 use crate::mgt::{mgt_count_range_opt, MgtOptions};
-use crate::orient::orient_to_disk;
+use crate::orient::orient_to_disk_with;
 use crate::sink::{CollectSink, CountSink};
 
 /// Configuration of a single-machine run.
@@ -107,8 +107,13 @@ impl LocalRunner {
 
         // Phase 1: multicore orientation (Figure 2).
         let oriented_base = work_dir.join("oriented");
-        let (og, orientation) =
-            orient_to_disk(input, &oriented_base, self.config.cores, &master_stats)?;
+        let (og, orientation) = orient_to_disk_with(
+            input,
+            &oriented_base,
+            self.config.cores,
+            self.config.mgt.codec,
+            &master_stats,
+        )?;
 
         // Phase 2: load balancing (Section IV-B1).
         let in_degrees = og

@@ -14,27 +14,75 @@
 //! outputs (orientation just changes which neighbours are present), so the
 //! whole pipeline — orientation, replication, per-core MGT — moves these
 //! two files around.
+//!
+//! Since the transport × codec split the adjacency may instead be stored
+//! under [`Codec::DeltaVarint`]: `base.adj` then holds the per-vertex
+//! delta + varint byte runs (zero-padded to a word boundary so every
+//! block transport opens it), flanked by two sidecars —
+//!
+//! * `base.hdr` — 5 words: magic, format version, codec discriminant,
+//!   and the *decoded* adjacency length as a `(lo, hi)` pair;
+//! * `base.vix` — the `n + 1` per-vertex byte fenceposts
+//!   ([`VarintIndex`]'s sidecar) that make `seek_to`/`skip` work in
+//!   decoded index space.
+//!
+//! A graph without a header is a legacy raw pair; raw writes emit no
+//! sidecars, so the PR 2 format stays byte-identical. [`adj_len`]
+//! always reports the decoded length, and [`file_set`] is the single
+//! enumeration of which files a base carries (replication, cleanup and
+//! tests all go through it).
+//!
+//! [`adj_len`]: DiskGraph::adj_len
+//! [`file_set`]: DiskGraph::file_set
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
-use pdtl_io::{IoError, IoStats, U32Reader, U32Writer, BYTES_PER_U32};
+use pdtl_io::{
+    Codec, IoError, IoStats, U32Reader, U32Source, U32Writer, VarintAdjWriter, VarintIndex,
+    BYTES_PER_U32,
+};
 
 use crate::csr::Graph;
 use crate::error::Result;
+
+/// Magic word opening a `.hdr` sidecar (`"PDTL"` in LE bytes).
+const HDR_MAGIC: u32 = u32::from_le_bytes(*b"PDTL");
+/// On-disk format version the header declares.
+const HDR_VERSION: u32 = 1;
+/// Header length in words: magic, version, codec, adj_len lo, adj_len hi.
+const HDR_WORDS: usize = 5;
 
 /// Handle to a graph stored in PDTL binary format.
 #[derive(Debug, Clone)]
 pub struct DiskGraph {
     base: PathBuf,
     n: u32,
+    /// Decoded adjacency length in `u32`s (codec-independent).
     adj_len: u64,
+    codec: Codec,
+    /// On-disk bytes of the core file set (`.deg`/`.adj` + sidecars).
+    disk_bytes: u64,
 }
 
 impl DiskGraph {
-    /// Write `graph` to `base{.deg,.adj}`.
+    /// Write `graph` to `base{.deg,.adj}` in raw (PR 2) format.
     pub fn write(graph: &Graph, base: impl AsRef<Path>, stats: &Arc<IoStats>) -> Result<Self> {
+        Self::write_with(graph, base, Codec::Raw, stats)
+    }
+
+    /// Write `graph` to `base` under `codec`: `.deg` is always raw;
+    /// under [`Codec::DeltaVarint`] the adjacency is stored compressed
+    /// with the `.vix`/`.hdr` sidecars, under [`Codec::Raw`] no
+    /// sidecars are produced and the files are byte-identical to the
+    /// legacy format.
+    pub fn write_with(
+        graph: &Graph,
+        base: impl AsRef<Path>,
+        codec: Codec,
+        stats: &Arc<IoStats>,
+    ) -> Result<Self> {
         let base = base.as_ref().to_path_buf();
         if let Some(parent) = base.parent() {
             if !parent.as_os_str().is_empty() {
@@ -46,17 +94,30 @@ impl DiskGraph {
             degw.write(graph.degree(u))?;
         }
         degw.finish()?;
-        let mut adjw = U32Writer::create(adj_path(&base), stats.clone())?;
-        adjw.write_all(graph.adjacency())?;
-        adjw.finish()?;
-        Ok(Self {
-            base,
-            n: graph.num_vertices(),
-            adj_len: graph.adj_len(),
-        })
+        match codec {
+            Codec::Raw => {
+                let mut adjw = U32Writer::create(adj_path(&base), stats.clone())?;
+                adjw.write_all(graph.adjacency())?;
+                adjw.finish()?;
+            }
+            Codec::DeltaVarint => {
+                let mut adjw = VarintAdjWriter::create(adj_path(&base), stats.clone())?;
+                for u in 0..graph.num_vertices() {
+                    adjw.write_run(graph.neighbors(u))?;
+                }
+                let fenceposts = adjw.finish()?;
+                VarintIndex::store(suffixed(&base, ".vix"), &fenceposts, stats.clone())?;
+                write_graph_header(&base, codec, graph.adj_len(), stats)?;
+            }
+        }
+        Self::open(&base, stats)
     }
 
-    /// Open an existing `base{.deg,.adj}` pair, validating sizes.
+    /// Open an existing graph at `base`, validating sizes.
+    ///
+    /// The codec is taken from the `.hdr` sidecar (read through an
+    /// accounted reader, so open-time I/O shows up in [`IoStats`]); a
+    /// base without a header is a legacy raw pair.
     pub fn open(base: impl AsRef<Path>, stats: &Arc<IoStats>) -> Result<Self> {
         let base = base.as_ref().to_path_buf();
         let deg = deg_path(&base);
@@ -69,11 +130,22 @@ impl DiskGraph {
         if adj_meta.len() % BYTES_PER_U32 != 0 {
             return Err(IoError::malformed(&adj, "adjacency file not u32-aligned").into());
         }
-        let _ = stats; // sizes come from metadata, no data I/O yet
+        let (codec, adj_len) = match read_graph_header(&base, stats)? {
+            Some((codec, adj_len)) => (codec, adj_len),
+            None => (Codec::Raw, adj_meta.len() / BYTES_PER_U32),
+        };
+        let mut disk_bytes = deg_meta.len() + adj_meta.len();
+        for ext in [".hdr", ".vix"] {
+            if let Ok(m) = std::fs::metadata(suffixed(&base, ext)) {
+                disk_bytes += m.len();
+            }
+        }
         Ok(Self {
             base,
             n: (deg_meta.len() / BYTES_PER_U32) as u32,
-            adj_len: adj_meta.len() / BYTES_PER_U32,
+            adj_len,
+            codec,
+            disk_bytes,
         })
     }
 
@@ -82,9 +154,15 @@ impl DiskGraph {
         self.n
     }
 
-    /// Total adjacency entries (`2|E|` undirected, `|E*|` oriented).
+    /// Total *decoded* adjacency entries (`2|E|` undirected, `|E*|`
+    /// oriented), regardless of how they are encoded on disk.
     pub fn adj_len(&self) -> u64 {
         self.adj_len
+    }
+
+    /// How the adjacency file is encoded.
+    pub fn codec(&self) -> Codec {
+        self.codec
     }
 
     /// The base path (without extension).
@@ -102,9 +180,41 @@ impl DiskGraph {
         adj_path(&self.base)
     }
 
-    /// Combined size of both files in bytes (what replication copies).
+    /// Path of the format-header sidecar (present iff compressed).
+    pub fn hdr_path(&self) -> PathBuf {
+        suffixed(&self.base, ".hdr")
+    }
+
+    /// Path of the varint byte-offset index sidecar (present iff
+    /// compressed).
+    pub fn vix_path(&self) -> PathBuf {
+        suffixed(&self.base, ".vix")
+    }
+
+    /// Every file extension a graph base may carry: the core pair, the
+    /// compressed-format sidecars, and the orientation sidecars
+    /// (rank map and suffix bounds) that `OrientedGraph` adds.
+    pub const ALL_EXTS: [&'static str; 6] = [".deg", ".adj", ".hdr", ".vix", ".map", ".bnd"];
+
+    /// The files that actually exist for this base, in [`ALL_EXTS`]
+    /// order — the single enumeration replication, cleanup and tests
+    /// use, so a new sidecar extension cannot silently be left behind.
+    ///
+    /// [`ALL_EXTS`]: Self::ALL_EXTS
+    pub fn file_set(&self) -> Vec<PathBuf> {
+        Self::ALL_EXTS
+            .iter()
+            .map(|ext| suffixed(&self.base, ext))
+            .filter(|p| p.exists())
+            .collect()
+    }
+
+    /// On-disk bytes of the core file set (`.deg`/`.adj` plus the
+    /// compressed-format sidecars) — for a raw graph exactly
+    /// `(n + adj_len) * 4`, for a compressed one what the device
+    /// actually stores.
     pub fn size_bytes(&self) -> u64 {
-        (self.n as u64 + self.adj_len) * BYTES_PER_U32
+        self.disk_bytes
     }
 
     /// Read the whole degree file.
@@ -114,9 +224,34 @@ impl DiskGraph {
     }
 
     /// Open a counted reader positioned at the start of the adjacency
-    /// file.
+    /// file, in *transport* (word) space: for a compressed graph these
+    /// are encoded words, to be wrapped in a
+    /// [`VarintSource`](pdtl_io::VarintSource) built from
+    /// [`varint_index`](Self::varint_index).
     pub fn open_adj(&self, stats: &Arc<IoStats>) -> Result<U32Reader> {
         Ok(U32Reader::open(self.adj_path(), stats.clone())?)
+    }
+
+    /// Load the varint index for a compressed graph, pairing the given
+    /// decoded fenceposts (prefix sums of `.deg`, `n + 1` entries) with
+    /// the `.vix` byte fenceposts. Errors on a raw graph.
+    pub fn varint_index(
+        &self,
+        decoded_offsets: Vec<u64>,
+        stats: &Arc<IoStats>,
+    ) -> Result<Arc<VarintIndex>> {
+        if self.codec != Codec::DeltaVarint {
+            return Err(IoError::malformed(
+                self.adj_path(),
+                "varint index requested for a raw graph".to_string(),
+            )
+            .into());
+        }
+        Ok(Arc::new(VarintIndex::load(
+            self.vix_path(),
+            decoded_offsets,
+            stats.clone(),
+        )?))
     }
 
     /// Load the full graph back into CSR form.
@@ -144,13 +279,23 @@ impl DiskGraph {
             )
             .into());
         }
-        let mut r = self.open_adj(stats)?;
-        let adj = r.read_all()?;
+        let adj = match self.codec {
+            Codec::Raw => self.open_adj(stats)?.read_all()?,
+            Codec::DeltaVarint => {
+                let index = self.varint_index(offsets.clone(), stats)?;
+                let mut src =
+                    pdtl_io::VarintSource::new(self.open_adj(stats)?, index, stats.clone())?;
+                let mut adj = Vec::with_capacity(self.adj_len as usize);
+                src.read_into(&mut adj, self.adj_len as usize)?;
+                adj
+            }
+        };
         Ok((offsets, adj))
     }
 
-    /// Copy both files to a new base (replication to a node's local
-    /// disk). Returns the new handle and the bytes copied.
+    /// Copy the whole [`file_set`](Self::file_set) — core pair plus
+    /// every sidecar present — to a new base (replication to a node's
+    /// local disk). Returns the new handle and the bytes copied.
     pub fn copy_to(&self, new_base: impl AsRef<Path>, stats: &Arc<IoStats>) -> Result<(Self, u64)> {
         let new_base = new_base.as_ref().to_path_buf();
         if let Some(parent) = new_base.parent() {
@@ -159,10 +304,12 @@ impl DiskGraph {
             }
         }
         let mut total = 0u64;
-        for (src, dst) in [
-            (self.deg_path(), deg_path(&new_base)),
-            (self.adj_path(), adj_path(&new_base)),
-        ] {
+        for src in self.file_set() {
+            let ext = format!(
+                ".{}",
+                src.extension().and_then(|e| e.to_str()).unwrap_or_default()
+            );
+            let dst = suffixed(&new_base, &ext);
             let start = Instant::now();
             let bytes = std::fs::copy(&src, &dst).map_err(|e| IoError::os("copy", &src, e))?;
             let elapsed = start.elapsed();
@@ -173,20 +320,65 @@ impl DiskGraph {
         Ok((
             Self {
                 base: new_base,
-                n: self.n,
-                adj_len: self.adj_len,
+                ..self.clone()
             },
             total,
         ))
     }
 
-    /// Delete both files (cleanup of replicas and temporaries).
+    /// Delete every file in the [`file_set`](Self::file_set) (cleanup
+    /// of replicas and temporaries).
     pub fn remove(&self) -> Result<()> {
-        for p in [self.deg_path(), self.adj_path()] {
+        for p in self.file_set() {
             std::fs::remove_file(&p).map_err(|e| IoError::os("remove", &p, e))?;
         }
         Ok(())
     }
+}
+
+/// Write the `.hdr` sidecar declaring `codec` and the decoded
+/// adjacency length for the graph at `base`. Called by compressed
+/// writers (including the orientation recompress pass); raw graphs
+/// carry no header.
+pub fn write_graph_header(
+    base: &Path,
+    codec: Codec,
+    adj_len: u64,
+    stats: &Arc<IoStats>,
+) -> Result<()> {
+    let mut w = U32Writer::create(suffixed(base, ".hdr"), stats.clone())?;
+    w.write_all(&[
+        HDR_MAGIC,
+        HDR_VERSION,
+        u32::from(codec.discriminant()),
+        adj_len as u32,
+        (adj_len >> 32) as u32,
+    ])?;
+    w.finish()?;
+    Ok(())
+}
+
+/// Read the `.hdr` sidecar for `base` through an accounted reader.
+/// `None` if the base carries no header (a legacy raw graph).
+fn read_graph_header(base: &Path, stats: &Arc<IoStats>) -> Result<Option<(Codec, u64)>> {
+    let hdr = suffixed(base, ".hdr");
+    if !hdr.exists() {
+        return Ok(None);
+    }
+    let mut r = U32Reader::open(&hdr, stats.clone())?;
+    let words = r.read_all()?;
+    if words.len() != HDR_WORDS || words[0] != HDR_MAGIC {
+        return Err(IoError::malformed(&hdr, "not a PDTL graph header").into());
+    }
+    if words[1] != HDR_VERSION {
+        return Err(
+            IoError::malformed(&hdr, format!("unknown format version {}", words[1])).into(),
+        );
+    }
+    let codec = Codec::from_discriminant(words[2] as u8)
+        .ok_or_else(|| IoError::malformed(&hdr, format!("unknown codec {}", words[2])))?;
+    let adj_len = u64::from(words[3]) | (u64::from(words[4]) << 32);
+    Ok(Some((codec, adj_len)))
 }
 
 /// Streaming import: build a `DiskGraph` from a file of *sorted* packed
@@ -244,7 +436,13 @@ pub fn from_sorted_packed_edges(
     }
     degw.finish()?;
     adjw.finish()?;
-    Ok(DiskGraph { base, n, adj_len })
+    Ok(DiskGraph {
+        base,
+        n,
+        adj_len,
+        codec: Codec::Raw,
+        disk_bytes: (n as u64 + adj_len) * BYTES_PER_U32,
+    })
 }
 
 /// Prefix-sum degrees into CSR offsets (`n + 1` entries).
@@ -259,16 +457,19 @@ pub fn offsets_from_degrees(degrees: &[u32]) -> Vec<u64> {
     offsets
 }
 
-fn deg_path(base: &Path) -> PathBuf {
+/// `base` with `ext` (including the dot) appended.
+pub fn suffixed(base: &Path, ext: &str) -> PathBuf {
     let mut os = base.as_os_str().to_os_string();
-    os.push(".deg");
+    os.push(ext);
     PathBuf::from(os)
 }
 
+fn deg_path(base: &Path) -> PathBuf {
+    suffixed(base, ".deg")
+}
+
 fn adj_path(base: &Path) -> PathBuf {
-    let mut os = base.as_os_str().to_os_string();
-    os.push(".adj");
-    PathBuf::from(os)
+    suffixed(base, ".adj")
 }
 
 #[cfg(test)]
@@ -395,5 +596,64 @@ mod tests {
         assert_eq!(written, dg.size_bytes());
         dg.load_csr(&stats).unwrap();
         assert_eq!(stats.bytes_read(), dg.size_bytes());
+    }
+
+    #[test]
+    fn raw_write_emits_no_sidecars() {
+        let stats = IoStats::new();
+        let g = sample();
+        let dg = DiskGraph::write(&g, tmpbase("nosidecar"), &stats).unwrap();
+        assert_eq!(dg.codec(), Codec::Raw);
+        assert!(!dg.hdr_path().exists());
+        assert!(!dg.vix_path().exists());
+        assert_eq!(dg.file_set(), vec![dg.deg_path(), dg.adj_path()]);
+    }
+
+    #[test]
+    fn compressed_write_open_round_trip() {
+        let stats = IoStats::new();
+        let g = sample();
+        let base = tmpbase("vrt");
+        let dg = DiskGraph::write_with(&g, &base, Codec::DeltaVarint, &stats).unwrap();
+        assert_eq!(dg.codec(), Codec::DeltaVarint);
+        assert_eq!(dg.adj_len(), g.adj_len(), "adj_len is decoded length");
+        assert!(dg.hdr_path().exists() && dg.vix_path().exists());
+        assert_eq!(
+            dg.file_set(),
+            vec![dg.deg_path(), dg.adj_path(), dg.hdr_path(), dg.vix_path()]
+        );
+
+        // Reopening recovers the codec and decoded length from the
+        // header — through an accounted reader.
+        let before = stats.bytes_read();
+        let dg2 = DiskGraph::open(&base, &stats).unwrap();
+        assert!(stats.bytes_read() > before, "header read is accounted");
+        assert_eq!(dg2.codec(), Codec::DeltaVarint);
+        assert_eq!(dg2.adj_len(), g.adj_len());
+        assert_eq!(dg2.load_csr(&stats).unwrap(), g);
+    }
+
+    #[test]
+    fn compressed_copy_ships_the_whole_file_set() {
+        let stats = IoStats::new();
+        let g = sample();
+        let dg = DiskGraph::write_with(&g, tmpbase("vcp-src"), Codec::DeltaVarint, &stats).unwrap();
+        let (dup, bytes) = dg.copy_to(tmpbase("vcp-dst"), &stats).unwrap();
+        assert_eq!(bytes, dg.size_bytes(), "all four files copied");
+        assert_eq!(dup.codec(), Codec::DeltaVarint);
+        assert_eq!(dup.load_csr(&stats).unwrap(), g);
+        dup.remove().unwrap();
+        assert!(dup.file_set().is_empty(), "remove clears every sidecar");
+    }
+
+    #[test]
+    fn corrupt_header_is_rejected() {
+        let stats = IoStats::new();
+        let g = sample();
+        let base = tmpbase("badhdr");
+        let dg = DiskGraph::write_with(&g, &base, Codec::DeltaVarint, &stats).unwrap();
+        std::fs::write(dg.hdr_path(), 0xdeadbeefu32.to_le_bytes()).unwrap();
+        let err = DiskGraph::open(&base, &stats).unwrap_err();
+        assert!(err.to_string().contains("header"), "{err}");
     }
 }

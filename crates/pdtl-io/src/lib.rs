@@ -23,6 +23,12 @@
 //!   several block reads in flight per stream with no prefetch
 //!   threads, once more with byte-identical accounting; [`IoBackend`]
 //!   selects between the four behind one seam.
+//! * [`Codec`] / [`VarintSource`] — the layer *above* the transports:
+//!   how byte runs decode into `u32` runs. `Raw` is the identity;
+//!   `DeltaVarint` stores each out-list as delta + varint bytes and
+//!   decodes above any transport, cutting the real `bytes_read` the
+//!   multi-pass `|E|²/(MB)` term pays while the decoded logical volume
+//!   is counted separately ([`IoStats::record_decoded`]).
 //! * [`external_sort_u64`] — a counted external merge sort used to bring
 //!   raw edge lists into the sorted PDTL format.
 //! * [`MemoryBudget`] — the per-processor memory parameter `M` (in edges)
@@ -35,6 +41,7 @@
 
 pub mod backend;
 pub mod budget;
+pub mod codec;
 pub mod cost;
 pub mod error;
 pub mod extsort;
@@ -48,6 +55,7 @@ pub mod uring;
 
 pub use backend::{IoBackend, BACKEND_ENV};
 pub use budget::MemoryBudget;
+pub use codec::{Codec, VarintAdjWriter, VarintIndex, VarintSource, CODEC_ENV};
 pub use cost::{CostModel, ModeledTime};
 pub use error::{IoError, Result};
 pub use extsort::{external_sort_u64, merge_sorted_files};

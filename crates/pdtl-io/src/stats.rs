@@ -22,6 +22,7 @@ pub struct IoStats {
     write_ops: AtomicU64,
     seeks: AtomicU64,
     io_nanos: AtomicU64,
+    u32s_decoded: AtomicU64,
 }
 
 impl IoStats {
@@ -51,6 +52,23 @@ impl IoStats {
         self.seeks.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record `n` logical `u32` values produced by a codec layer.
+    ///
+    /// This is the second accounting dimension introduced by the
+    /// transport × codec split: `bytes_read`/`seeks` keep counting what
+    /// the *device* moved (the Aggarwal–Vitter transfers that feed
+    /// `theorem_bytes()`), while this counter measures the decoded
+    /// logical volume above the codec. Under the `Raw` codec engines
+    /// read transports directly (the codec layer is the identity) and
+    /// this stays zero; under `DeltaVarint` it counts the `u32`s the
+    /// decoder produced, and the gap between `u32s_decoded * 4` and the
+    /// adjacency `bytes_read` is exactly the compression win. Only
+    /// codec-layer objects call this; transports never do, so the
+    /// dimensions cannot double count.
+    pub fn record_decoded(&self, n: u64) {
+        self.u32s_decoded.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Total bytes read so far.
     pub fn bytes_read(&self) -> u64 {
         self.bytes_read.load(Ordering::Relaxed)
@@ -74,6 +92,11 @@ impl IoStats {
     /// Number of seeks issued.
     pub fn seeks(&self) -> u64 {
         self.seeks.load(Ordering::Relaxed)
+    }
+
+    /// Logical `u32` values produced by codec layers so far.
+    pub fn u32s_decoded(&self) -> u64 {
+        self.u32s_decoded.load(Ordering::Relaxed)
     }
 
     /// Wall time spent blocked in I/O calls.
@@ -107,6 +130,8 @@ impl IoStats {
         self.seeks.fetch_add(other.seeks(), Ordering::Relaxed);
         self.io_nanos
             .fetch_add(other.io_nanos.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.u32s_decoded
+            .fetch_add(other.u32s_decoded(), Ordering::Relaxed);
     }
 
     /// Reset every counter to zero.
@@ -117,6 +142,7 @@ impl IoStats {
         self.write_ops.store(0, Ordering::Relaxed);
         self.seeks.store(0, Ordering::Relaxed);
         self.io_nanos.store(0, Ordering::Relaxed);
+        self.u32s_decoded.store(0, Ordering::Relaxed);
     }
 
     /// A point-in-time copy of the counters.
@@ -128,6 +154,7 @@ impl IoStats {
             write_ops: self.write_ops(),
             seeks: self.seeks(),
             io_time: self.io_time(),
+            u32s_decoded: self.u32s_decoded(),
         }
     }
 }
@@ -148,6 +175,9 @@ pub struct IoSnapshot {
     pub seeks: u64,
     /// Wall time spent blocked in I/O.
     pub io_time: Duration,
+    /// Logical `u32` values produced by codec layers (see
+    /// [`IoStats::record_decoded`]).
+    pub u32s_decoded: u64,
 }
 
 impl IoSnapshot {
@@ -220,10 +250,24 @@ mod tests {
         let b = IoStats::new();
         a.record_read(10, Duration::from_nanos(5));
         b.record_read(20, Duration::from_nanos(7));
+        b.record_decoded(9);
         a.merge(&b);
         assert_eq!(a.bytes_read(), 30);
         assert_eq!(a.read_ops(), 2);
         assert_eq!(a.io_time(), Duration::from_nanos(12));
+        assert_eq!(a.u32s_decoded(), 9);
+    }
+
+    #[test]
+    fn decoded_dimension_is_independent_of_byte_counters() {
+        let s = IoStats::new();
+        s.record_decoded(1000);
+        assert_eq!(s.u32s_decoded(), 1000);
+        assert_eq!(s.bytes_read(), 0, "decoding moves no device bytes");
+        assert_eq!(s.blocks(4096), 0, "A-V transfers see only real I/O");
+        assert_eq!(s.snapshot().u32s_decoded, 1000);
+        s.reset();
+        assert_eq!(s.u32s_decoded(), 0);
     }
 
     #[test]

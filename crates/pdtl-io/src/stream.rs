@@ -297,6 +297,24 @@ pub trait U32Source {
 
     /// Skip `n` values (clamped; short skips coalesce to read-through).
     fn skip(&mut self, n: u64) -> Result<()>;
+
+    /// Seek to `pos` and read exactly `len` values into `out` (cleared
+    /// first); errors if the range reaches past end of file. Provided in
+    /// terms of [`seek_to`](Self::seek_to) + [`read_into`](Self::read_into)
+    /// so every source — including codec-wrapped ones, where positions
+    /// are *decoded* indices — shares one chunk-load primitive.
+    fn read_exact_range(&mut self, pos: u64, len: usize, out: &mut Vec<u32>) -> Result<()> {
+        out.clear();
+        self.seek_to(pos)?;
+        let got = self.read_into(out, len)?;
+        if got != len {
+            return Err(IoError::malformed(
+                "<u32 stream>",
+                format!("chunk [{pos}, {pos}+{len}) reaches past end of file"),
+            ));
+        }
+        Ok(())
+    }
 }
 
 impl U32Source for U32Reader {

@@ -8,15 +8,22 @@
 //! file), at any block size, on any file length including empty. The
 //! property test drives randomized patterns; the explicit tests pin the
 //! EOF-clamp and empty-file edges the buffered path fixed in PR 3.
+//!
+//! The codec × transport cross-product extends the same contract one
+//! layer up: a [`VarintSource`] over any transport must yield the same
+//! logical stream and decoded position as the raw reference, and the
+//! *compressed* accounting (bytes_read / seeks / u32s_decoded) must be
+//! identical whichever transport carries the bytes.
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use proptest::prelude::*;
 
 use pdtl_io::{
     mmap_supported, uring_supported, IoStats, MmapSource, PrefetchReader, U32Reader, U32Source,
-    U32Writer, UringSource,
+    U32Writer, UringSource, VarintAdjWriter, VarintIndex, VarintSource,
 };
 
 /// The non-reference backends available on this platform (`blocking`
@@ -181,4 +188,177 @@ fn empty_file_edges_agree_across_backends() {
         assert_eq!(got.3, reference.3, "{which}: seeks");
     }
     let _ = std::fs::remove_file(&path);
+}
+
+/// Build a varint fixture from per-vertex strictly-increasing runs:
+/// writes the compressed file, returns its path, the seek index, and
+/// the flattened logical stream (what a raw file would contain).
+fn write_varint_fixture(runs: &[Vec<u32>]) -> (PathBuf, Arc<VarintIndex>, Vec<u32>) {
+    let dir = std::env::temp_dir().join("pdtl-source-parity");
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = dir.join(format!(
+        "v-{}-{}",
+        std::process::id(),
+        UNIQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let mut w = VarintAdjWriter::create(&p, IoStats::new()).unwrap();
+    let mut decoded = vec![0u64];
+    let mut logical = Vec::new();
+    for run in runs {
+        w.write_run(run).unwrap();
+        logical.extend_from_slice(run);
+        decoded.push(logical.len() as u64);
+    }
+    let bytes = w.finish().unwrap();
+    let index = Arc::new(VarintIndex::new(decoded, bytes).unwrap());
+    (p, index, logical)
+}
+
+/// Drive `ops` through a [`VarintSource`] over the named transport,
+/// returning `(stream, position, bytes_read, seeks, u32s_decoded)`.
+fn trace_varint(
+    which: &str,
+    path: &PathBuf,
+    index: &Arc<VarintIndex>,
+    block: usize,
+    ops: &[(u8, u64)],
+) -> (Vec<u32>, u64, u64, u64, u64) {
+    let stats = IoStats::new();
+    let (out, pos) = match which {
+        "blocking" => {
+            let inner = U32Reader::with_buffer(path, stats.clone(), block).unwrap();
+            let mut s = VarintSource::new(inner, index.clone(), stats.clone()).unwrap();
+            drive(&mut s, ops)
+        }
+        "prefetch" => {
+            let inner =
+                PrefetchReader::new(U32Reader::with_buffer(path, stats.clone(), block).unwrap())
+                    .unwrap();
+            let mut s = VarintSource::new(inner, index.clone(), stats.clone()).unwrap();
+            drive(&mut s, ops)
+        }
+        "mmap" => {
+            let inner = MmapSource::with_block(path, stats.clone(), block).unwrap();
+            let mut s = VarintSource::new(inner, index.clone(), stats.clone()).unwrap();
+            drive(&mut s, ops)
+        }
+        "uring" => {
+            let inner = UringSource::with_block(path, stats.clone(), block).unwrap();
+            let mut s = VarintSource::new(inner, index.clone(), stats.clone()).unwrap();
+            drive(&mut s, ops)
+        }
+        other => panic!("unknown backend {other}"),
+    };
+    (
+        out,
+        pos,
+        stats.bytes_read(),
+        stats.seeks(),
+        stats.u32s_decoded(),
+    )
+}
+
+/// Shrink a flat value pool into per-vertex strictly-increasing runs:
+/// each (gap, len) pair cuts one run whose deltas come from the pool.
+fn runs_from_pool(pool: &[(u8, u8)]) -> Vec<Vec<u32>> {
+    let mut runs = Vec::new();
+    for chunk in pool.chunks(3) {
+        let mut run = Vec::new();
+        let mut v = 0u32;
+        for &(gap, reps) in chunk {
+            for r in 0..(reps % 4) {
+                v += 1 + u32::from(gap) * (u32::from(r) + 1);
+                run.push(v);
+            }
+        }
+        runs.push(run); // empty runs (all reps % 4 == 0) are legal
+    }
+    runs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn codec_transport_cross_product_agrees(
+        pool in prop::collection::vec((0u8..255, 0u8..255), 0..120),
+        block in 1usize..900,
+        ops in prop::collection::vec((0u8..6, 0u64..4_000), 0..24),
+    ) {
+        let runs = runs_from_pool(&pool);
+        let (vpath, index, logical) = write_varint_fixture(&runs);
+        let rpath = write_fixture(&logical);
+
+        // Raw blocking reader is the logical-stream reference.
+        let (want_out, want_pos, ..) = trace_backend("blocking", &rpath, block, &ops);
+
+        let (b_out, b_pos, b_bytes, b_seeks, b_dec) =
+            trace_varint("blocking", &vpath, &index, block, &ops);
+        prop_assert_eq!(&b_out, &want_out);
+        prop_assert_eq!(b_pos, want_pos);
+        for which in other_backends() {
+            let (out, pos, bytes, seeks, dec) =
+                trace_varint(which, &vpath, &index, block, &ops);
+            prop_assert_eq!(&out, &b_out);
+            prop_assert_eq!(pos, b_pos);
+            prop_assert_eq!(bytes, b_bytes);
+            prop_assert_eq!(seeks, b_seeks);
+            prop_assert_eq!(dec, b_dec);
+        }
+        let _ = std::fs::remove_file(&vpath);
+        let _ = std::fs::remove_file(&rpath);
+    }
+}
+
+#[test]
+fn varint_eof_and_empty_edges_agree_across_transports() {
+    // The EOF-clamp pattern from the raw edge test, replayed in decoded
+    // index space, plus the all-empty-runs graph (zero encoded bytes).
+    let mut runs: Vec<Vec<u32>> = (0..50u32)
+        .map(|s| (0..20).map(|i| s + i * (s % 7 + 1) + 1).collect())
+        .collect();
+    runs.insert(7, Vec::new());
+    let (vpath, index, logical) = write_varint_fixture(&runs);
+    let ops: Vec<(u8, u64)> = vec![
+        (2, 1_000_000),
+        (0, 10),
+        (2, logical.len() as u64 - 10),
+        (0, 100),
+        (1, u64::MAX),
+        (2, 0),
+        (1, logical.len() as u64 - 1),
+        (0, 5),
+    ];
+    let reference = trace_varint("blocking", &vpath, &index, 64, &ops);
+    assert_eq!(
+        reference.0.last(),
+        logical.last(),
+        "sanity: the pattern ends on the last decoded value"
+    );
+    assert_eq!(
+        reference.1,
+        logical.len() as u64,
+        "position clamps at decoded EOF"
+    );
+    for which in other_backends() {
+        let got = trace_varint(which, &vpath, &index, 64, &ops);
+        assert_eq!(got.0, reference.0, "{which}: stream");
+        assert_eq!(got.1, reference.1, "{which}: position");
+        assert_eq!(got.2, reference.2, "{which}: bytes_read");
+        assert_eq!(got.3, reference.3, "{which}: seeks");
+        assert_eq!(got.4, reference.4, "{which}: u32s_decoded");
+    }
+    let _ = std::fs::remove_file(&vpath);
+
+    let (epath, eindex, elogical) = write_varint_fixture(&[Vec::new(), Vec::new()]);
+    assert!(elogical.is_empty());
+    let eops: Vec<(u8, u64)> = vec![(0, 10), (2, 5), (1, u64::MAX), (0, 1)];
+    let eref = trace_varint("blocking", &epath, &eindex, 16, &eops);
+    assert!(eref.0.is_empty());
+    assert_eq!(eref.1, 0);
+    for which in other_backends() {
+        let got = trace_varint(which, &epath, &eindex, 16, &eops);
+        assert_eq!((got.0, got.1, got.2, got.3, got.4), eref.clone(), "{which}");
+    }
+    let _ = std::fs::remove_file(&epath);
 }

@@ -8,12 +8,16 @@
 //! * `export <base> <edges.txt>` — write a graph back to text;
 //! * `stats <base>` — print the Table-I row of a graph;
 //! * `count <base> [--cores p] [--memory edges] [--naive]
-//!   [--backend blocking|prefetch|mmap|uring]` — multicore exact count;
+//!   [--backend blocking|prefetch|mmap|uring]
+//!   [--codec raw|delta-varint]` — multicore exact count; `--codec`
+//!   selects the oriented graph's on-disk encoding (delta-varint cuts
+//!   the multi-pass `bytes_read`);
 //! * `cluster <base> [--nodes n] [--cores p] [--memory edges] [--tcp]
-//!   [--backend b] [--fail-fast] [--fault plan]` — distributed exact
-//!   count; `--fail-fast` aborts on the first node failure instead of
-//!   retrying/reassigning, and `--fault` injects a deterministic fault
-//!   plan (same grammar as `PDTL_FAULT`, e.g. `seed=42;kill=1`);
+//!   [--backend b] [--codec c] [--fail-fast] [--fault plan]` —
+//!   distributed exact count; `--fail-fast` aborts on the first node
+//!   failure instead of retrying/reassigning, and `--fault` injects a
+//!   deterministic fault plan (same grammar as `PDTL_FAULT`, e.g.
+//!   `seed=42;kill=1`);
 //! * `list <base> <out.bin> [--cores p]` — triangle listing to file.
 //!
 //! Parsing is kept dependency-free and fully unit-tested; the binary is
@@ -26,7 +30,7 @@ use pdtl_core::mgt::MgtOptions;
 use pdtl_core::{BalanceStrategy, LocalConfig, LocalRunner};
 use pdtl_graph::datasets::Dataset;
 use pdtl_graph::{DiskGraph, GraphStats};
-use pdtl_io::{IoBackend, IoStats, MemoryBudget};
+use pdtl_io::{Codec, IoBackend, IoStats, MemoryBudget};
 
 /// A parsed command.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,6 +75,8 @@ pub enum Command {
         naive: bool,
         /// I/O backend override (`None` = default / `PDTL_IO_BACKEND`).
         backend: Option<IoBackend>,
+        /// On-disk codec override (`None` = default / `PDTL_CODEC`).
+        codec: Option<Codec>,
     },
     /// Distributed count.
     Cluster {
@@ -90,6 +96,8 @@ pub enum Command {
         fail_fast: bool,
         /// Fault-injection plan (`None` = default / `PDTL_FAULT`).
         fault: Option<String>,
+        /// On-disk codec override (`None` = default / `PDTL_CODEC`).
+        codec: Option<Codec>,
     },
     /// Triangle listing to a binary file.
     List {
@@ -147,6 +155,15 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 )),
             }
         };
+    let get_codec =
+        |flags: &std::collections::HashMap<String, String>| -> Result<Option<Codec>, String> {
+            match flags.get("codec") {
+                None => Ok(None),
+                Some(v) => Codec::parse(v)
+                    .map(Some)
+                    .ok_or(format!("bad --codec: {v:?} (raw|delta-varint)")),
+            }
+        };
     let cmd = pos.first().ok_or(USAGE.to_string())?.as_str();
     let need = |i: usize, what: &str| -> Result<PathBuf, String> {
         pos.get(i)
@@ -182,6 +199,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             memory: get_usize(&flags, "memory", 1 << 20)?,
             naive: bools.contains("naive"),
             backend: get_backend(&flags)?,
+            codec: get_codec(&flags)?,
         }),
         "cluster" => Ok(Command::Cluster {
             base: need(1, "input base")?,
@@ -192,6 +210,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             backend: get_backend(&flags)?,
             fail_fast: bools.contains("fail-fast"),
             fault: flags.get("fault").cloned(),
+            codec: get_codec(&flags)?,
         }),
         "list" => Ok(Command::List {
             base: need(1, "input base")?,
@@ -292,11 +311,15 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String> {
             memory,
             naive,
             backend,
+            codec,
         } => {
             let dg = DiskGraph::open(&base, &stats).map_err(|e| fail(&e))?;
             let mut mgt = MgtOptions::default();
             if let Some(b) = backend {
                 mgt.backend = b;
+            }
+            if let Some(c) = codec {
+                mgt.codec = c;
             }
             let runner = LocalRunner::new(LocalConfig {
                 cores,
@@ -331,11 +354,15 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String> {
             backend,
             fail_fast,
             fault,
+            codec,
         } => {
             let dg = DiskGraph::open(&base, &stats).map_err(|e| fail(&e))?;
             let mut mgt = MgtOptions::default();
             if let Some(b) = backend {
                 mgt.backend = b;
+            }
+            if let Some(c) = codec {
+                mgt.codec = c;
             }
             let runner = ClusterRunner::new(ClusterConfig {
                 nodes,
@@ -457,7 +484,8 @@ mod tests {
                 cores: 8,
                 memory: 4096,
                 naive: true,
-                backend: None
+                backend: None,
+                codec: None
             }
         );
     }
@@ -475,7 +503,8 @@ mod tests {
                 tcp: false,
                 backend: None,
                 fail_fast: false,
-                fault: None
+                fault: None,
+                codec: None
             }
         );
     }
@@ -496,7 +525,8 @@ mod tests {
                 tcp: true,
                 backend: None,
                 fail_fast: true,
-                fault: Some("seed=42;kill=1".into())
+                fault: Some("seed=42;kill=1".into()),
+                codec: None
             }
         );
         assert!(parse(&args("cluster /tmp/g --fault")).is_err());
@@ -526,6 +556,31 @@ mod tests {
             }
         ));
         assert!(parse(&args("count /tmp/g --backend io-urng")).is_err());
+    }
+
+    #[test]
+    fn parses_codec_flag() {
+        for (name, codec) in [
+            ("raw", Codec::Raw),
+            ("delta-varint", Codec::DeltaVarint),
+            ("delta_varint", Codec::DeltaVarint),
+            ("VARINT", Codec::DeltaVarint),
+        ] {
+            let cmd = parse(&args(&format!("count /tmp/g --codec {name}"))).unwrap();
+            let Command::Count { codec: got, .. } = cmd else {
+                panic!("expected Count");
+            };
+            assert_eq!(got, Some(codec), "{name}");
+        }
+        let cmd = parse(&args("cluster /tmp/g --codec delta-varint")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Cluster {
+                codec: Some(Codec::DeltaVarint),
+                ..
+            }
+        ));
+        assert!(parse(&args("count /tmp/g --codec gzip")).is_err());
     }
 
     #[test]
@@ -567,6 +622,7 @@ mod tests {
                 memory: 1024,
                 naive: false,
                 backend: Some(IoBackend::Mmap),
+                codec: Some(Codec::DeltaVarint),
             },
             &mut out,
         )
@@ -606,6 +662,7 @@ mod tests {
                 backend: None,
                 fail_fast: false,
                 fault: None,
+                codec: Some(Codec::DeltaVarint),
             },
             &mut out,
         )

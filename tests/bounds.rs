@@ -2,10 +2,10 @@
 //! paper's Theorem IV.2 / IV.3 bounds.
 
 use pdtl::cluster::{ClusterConfig, ClusterRunner};
-use pdtl::core::{count_triangles_with, theory, BalanceStrategy, LocalConfig};
+use pdtl::core::{count_triangles_with, orient_to_disk, theory, BalanceStrategy, LocalConfig};
 use pdtl::graph::datasets::Dataset;
 use pdtl::graph::DiskGraph;
-use pdtl::io::{IoStats, MemoryBudget};
+use pdtl::io::{Codec, IoStats, MemoryBudget};
 
 fn tmpdir(name: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir()
@@ -91,6 +91,30 @@ fn cluster_network_within_theorem_iv3() {
     let g = Dataset::Rmat(7).build().unwrap();
     let stats = IoStats::new();
     let input = DiskGraph::write(&g, tmpdir("net").join("g"), &stats).unwrap();
+    // What one replica weighs depends on the on-disk codec (raw:
+    // exactly (|E| + 4n) * 4 for adjacency + degrees + rank map +
+    // pruning bounds; delta-varint: the compressed adjacency plus the
+    // .hdr/.vix sidecars), so orient the same input once under the
+    // session default and measure the file set the runner will ship.
+    let (oracle, _) = orient_to_disk(&input, tmpdir("net-oracle").join("o"), 2, &stats).unwrap();
+    let replica_bytes: u64 = oracle
+        .disk
+        .file_set()
+        .iter()
+        .map(|p| std::fs::metadata(p).unwrap().len())
+        .sum();
+    if oracle.disk.codec() == Codec::Raw {
+        assert_eq!(
+            replica_bytes,
+            (g.num_edges() + 4 * g.num_vertices() as u64) * 4,
+            "raw replica: |E| adjacency + n degrees + n rank map + 2n bounds"
+        );
+    } else {
+        assert!(
+            replica_bytes < (g.num_edges() + 4 * g.num_vertices() as u64) * 4,
+            "a compressed replica must ship fewer bytes than raw"
+        );
+    }
     for (nodes, cores, listing) in [(2usize, 2usize, false), (4, 2, false), (2, 2, true)] {
         let report = ClusterRunner::new(ClusterConfig {
             nodes,
@@ -111,12 +135,9 @@ fn cluster_network_within_theorem_iv3() {
             report.network.total()
         );
         // and the graph-replication term alone matches Θ((N-1)|E*|):
-        // the oriented graph is |E| adjacency entries + n degrees, plus
-        // the rank map (n) and scan-pruning bounds (2n) it ships with.
-        assert_eq!(
-            report.network.graph,
-            (nodes as u64 - 1) * (g.num_edges() + 4 * g.num_vertices() as u64) * 4
-        );
+        // every worker node past the master receives one full copy of
+        // the oriented file set measured above.
+        assert_eq!(report.network.graph, (nodes as u64 - 1) * replica_bytes);
     }
 }
 
