@@ -22,7 +22,12 @@
 //!     the while (slow, not dead),
 //!   - `shortread:<u32s>` — every worker's scan source fails after
 //!     delivering that many values (a truncated/dying replica),
-//!   - `copyfail` — the master's replica copy to that node fails.
+//!   - `copyfail` — the master's replica copy to that node fails,
+//!   - `corrupt:<ext>` — the replica file `<ext>` (`deg`/`adj`/`hdr`/
+//!     `vix`/`map`/`bnd`/`mft`, no dot) is bit-flipped *after* a
+//!     successful copy; post-copy digest verification detects it, so
+//!     `x1` models a transient medium error healed by the re-copy and
+//!     a persistent spec exhausts the retry budget into reassignment.
 //! * `seed=<u64>` / `kill=<k>` — kill `k` nodes chosen
 //!   deterministically from the seed once the node count is known
 //!   (expanded by [`FaultPlan::resolve`]); the chosen victims panic on
@@ -38,6 +43,8 @@
 //! Recovery dispatches (range reassignment, the master-local fallback)
 //! deliberately ship no faults — the plan models hosts failing, not the
 //! master's own process.
+
+use pdtl_io::diskfault::FaultTarget;
 
 use crate::error::{ClusterError, Result};
 use crate::message::NodeFault;
@@ -66,6 +73,9 @@ pub enum FaultKind {
     ShortRead(u64),
     /// The master's replica copy to the node fails.
     CopyFail,
+    /// The named replica file is silently corrupted after a successful
+    /// copy (caught by post-copy digest verification).
+    CorruptReplica(FaultTarget),
 }
 
 /// One fault directive: a kind, a target node, and how many dispatch
@@ -221,9 +231,17 @@ fn parse_spec(part: &str) -> Result<FaultSpec> {
         "delay" => FaultKind::Delay(parse_num(need_arg()?, part)?),
         "shortread" => FaultKind::ShortRead(parse_num(need_arg()?, part)?),
         "copyfail" => FaultKind::CopyFail,
+        "corrupt" => FaultKind::CorruptReplica(
+            FaultTarget::parse(need_arg()?).ok_or_else(|| bad("unknown replica file extension"))?,
+        ),
         other => return Err(bad(&format!("unknown fault kind `{other}`"))),
     };
-    if arg.is_some() && !matches!(kind, FaultKind::Delay(_) | FaultKind::ShortRead(_)) {
+    if arg.is_some()
+        && !matches!(
+            kind,
+            FaultKind::Delay(_) | FaultKind::ShortRead(_) | FaultKind::CorruptReplica(_)
+        )
+    {
         return Err(bad("kind takes no `:arg`"));
     }
     Ok(FaultSpec { node, kind, times })
@@ -260,7 +278,7 @@ impl ResolvedFaults {
                     }
                     continue;
                 }
-                FaultKind::CopyFail => continue,
+                FaultKind::CopyFail | FaultKind::CorruptReplica(_) => continue,
             };
             if node_fault == NodeFault::None {
                 node_fault = fault;
@@ -280,6 +298,21 @@ impl ResolvedFaults {
             }
         }
         false
+    }
+
+    /// The replica file to corrupt after this attempt's copy to `node`
+    /// lands (if any), consuming one charge.
+    pub fn corrupt_replica(&mut self, node: usize) -> Option<FaultTarget> {
+        for (spec, remaining) in &mut self.specs {
+            if spec.node as usize != node || *remaining == 0 {
+                continue;
+            }
+            if let FaultKind::CorruptReplica(target) = spec.kind {
+                consume(remaining);
+                return Some(target);
+            }
+        }
+        None
     }
 }
 
@@ -391,6 +424,32 @@ mod tests {
         let mut r = plan.resolve(2);
         assert_eq!(r.dispatch_faults(1), (NodeFault::None, None));
         assert!(r.copy_fail(1));
+    }
+
+    #[test]
+    fn corrupt_parses_and_consumes_independently() {
+        let plan = FaultPlan::parse("corrupt@1x1:adj").unwrap();
+        assert_eq!(
+            plan.specs,
+            vec![FaultSpec {
+                node: 1,
+                kind: FaultKind::CorruptReplica(FaultTarget::Adj),
+                times: 1
+            }]
+        );
+        let mut r = plan.resolve(3);
+        // Never leaks into dispatch faults, fires once, then is spent.
+        assert_eq!(r.dispatch_faults(1), (NodeFault::None, None));
+        assert_eq!(r.corrupt_replica(1), Some(FaultTarget::Adj));
+        assert_eq!(r.corrupt_replica(1), None);
+        assert_eq!(r.corrupt_replica(0), None);
+        // Persistent corruption keeps firing on every re-copy.
+        let mut r = FaultPlan::parse("corrupt@0:mft").unwrap().resolve(2);
+        assert_eq!(r.corrupt_replica(0), Some(FaultTarget::Mft));
+        assert_eq!(r.corrupt_replica(0), Some(FaultTarget::Mft));
+        // Bad targets are rejected at parse time.
+        assert!(FaultPlan::parse("corrupt@1").is_err());
+        assert!(FaultPlan::parse("corrupt@1:exe").is_err());
     }
 
     #[test]

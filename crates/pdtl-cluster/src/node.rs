@@ -251,7 +251,7 @@ mod tests {
     use pdtl_graph::gen::rmat::rmat;
     use pdtl_graph::verify::triangle_count;
     use pdtl_graph::DiskGraph;
-    use std::path::PathBuf;
+    use std::path::{Path, PathBuf};
 
     fn tmpbase(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join("pdtl-node-tests");
@@ -520,6 +520,43 @@ mod tests {
         };
         assert_eq!(node, 5);
         assert!(detail.contains("injected short read"), "{detail}");
+    }
+
+    #[test]
+    fn node_reports_corrupt_replica_as_node_error() {
+        let (base, m_star, _) = oriented_base("corrupt");
+        // Silently flip a bit in the replica's bounds sidecar: the
+        // quick integrity tier inside `OrientedGraph::open` digests
+        // small files, so the node detects it before computing
+        // anything and the master gets a typed NodeError (feeding
+        // PR 7's range reassignment instead of a wrong count).
+        pdtl_io::diskfault::DiskFaultSpec {
+            kind: pdtl_io::diskfault::DiskFaultKind::BitFlip,
+            target: pdtl_io::diskfault::FaultTarget::Bnd,
+            seed: 77,
+        }
+        .apply(Path::new(&base))
+        .unwrap()
+        .expect("bounds file exists");
+        let (master, remote) = in_proc_pair(NetTraffic::new());
+        let handle = std::thread::spawn(move || serve_node(&remote));
+        master
+            .send(&Message::Config {
+                node: 2,
+                graph_base: base,
+                workers: vec![worker(0, m_star)],
+                listing: false,
+                directives: NodeDirectives::default(),
+            })
+            .unwrap();
+        let reply = master.recv().unwrap();
+        master.send(&Message::Shutdown).unwrap();
+        handle.join().unwrap().unwrap();
+        let Message::NodeError { node, detail } = reply else {
+            panic!("expected NodeError, got {reply:?}");
+        };
+        assert_eq!(node, 2);
+        assert!(detail.contains("corrupt"), "{detail}");
     }
 
     #[test]

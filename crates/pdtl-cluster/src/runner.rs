@@ -47,7 +47,8 @@ use std::time::{Duration, Instant};
 use pdtl_core::balance::{split_ranges, BalanceStrategy};
 use pdtl_core::mgt::MgtOptions;
 use pdtl_core::orient::orient_to_disk_with;
-use pdtl_graph::DiskGraph;
+use pdtl_graph::{DiskGraph, Manifest};
+use pdtl_io::diskfault::{DiskFaultKind, DiskFaultSpec};
 use pdtl_io::{IoStats, MemoryBudget};
 
 use crate::error::{ClusterError, Result};
@@ -804,6 +805,10 @@ impl ClusterRunner {
         let cfg = &self.config;
         std::fs::create_dir_all(work_dir)
             .map_err(|e| pdtl_io::IoError::os("mkdir", work_dir, e))?;
+        // Full-digest the input against its integrity manifest before
+        // orienting or replicating anything: corruption must surface as
+        // a typed error here, never as a wrong count downstream.
+        input.verify_full()?;
         let wall_start = Instant::now();
         let master_stats = IoStats::new();
         let traffic = NetTraffic::new();
@@ -872,6 +877,28 @@ impl ClusterRunner {
                 } else {
                     og.replicate_to(&node_base, &master_stats)
                         .map_err(ClusterError::from)
+                        .and_then(|bytes| {
+                            if let Some(target) = faults.corrupt_replica(id) {
+                                // Injected silent media corruption on the
+                                // landed replica, seeded per (node,
+                                // attempt) so CI legs are reproducible.
+                                DiskFaultSpec {
+                                    kind: DiskFaultKind::BitFlip,
+                                    target,
+                                    seed: 0x5D15_C0DE
+                                        ^ ((id as u64) << 8)
+                                        ^ u64::from(copy_attempts),
+                                }
+                                .apply(&node_base)?;
+                            }
+                            // Digest the replica against the manifest it
+                            // shipped with; a mismatch is a copy failure
+                            // and re-enters the retry loop below, which
+                            // re-copies from the healthy master original
+                            // (self-healing).
+                            verify_replica(&node_base)?;
+                            Ok(bytes)
+                        })
                 };
                 match outcome {
                     Ok(bytes) => {
@@ -972,6 +999,17 @@ impl ClusterRunner {
             failed_nodes,
         })
     }
+}
+
+/// Full-digest a freshly landed replica against the manifest it
+/// shipped with. A replica without a manifest (copied from a
+/// pre-integrity base) is accepted as-is; any digest or length
+/// mismatch is a typed error the copy loop treats as a failed copy.
+fn verify_replica(base: &Path) -> Result<()> {
+    if let Some(m) = Manifest::load(base)? {
+        m.verify_full(base)?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -44,6 +44,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use pdtl_graph::disk::{offsets_from_degrees, write_graph_header};
+use pdtl_graph::manifest::Manifest;
 use pdtl_graph::rank::RankMap;
 use pdtl_graph::{DiskGraph, Graph};
 use pdtl_io::{Codec, CpuIoTimer, IoStats, U32Reader, U32Writer, VarintAdjWriter, VarintIndex};
@@ -395,9 +396,11 @@ impl OrientedGraph {
     /// Replicate the oriented graph to `new_base` (a node's local
     /// disk). Delegates to [`DiskGraph::copy_to`], whose
     /// [`file_set`](DiskGraph::file_set) enumeration ships every file
-    /// the base carries — `.deg`, `.adj`, `.map`, `.bnd` and the
-    /// compressed-format sidecars when present — so a new extension
-    /// cannot silently be left behind. Returns the bytes copied.
+    /// the base carries — `.deg`, `.adj`, `.map`, `.bnd`, the
+    /// compressed-format sidecars when present, and the `.mft`
+    /// integrity manifest (copied last, so the replica can verify its
+    /// own digests after the copy) — so a new extension cannot
+    /// silently be left behind. Returns the bytes copied.
     pub fn replicate_to(&self, new_base: impl AsRef<Path>, stats: &Arc<IoStats>) -> Result<u64> {
         let (_replica, total) = self.disk.copy_to(new_base, stats)?;
         Ok(total)
@@ -588,6 +591,14 @@ pub fn orient_to_disk_with(
             bounds[r as usize] = b;
         }
     }
+    // The scattered writes went through per-worker handles; one sync
+    // here makes the assembled adjacency durable before its digest is
+    // recorded in the manifest below.
+    File::options()
+        .write(true)
+        .open(&adj_p)
+        .and_then(|f| f.sync_all())
+        .map_err(|e| pdtl_io::IoError::os("sync", &adj_p, e))?;
     write_bounds(&OrientedGraph::bnd_path(&out_base), &bounds, stats)?;
 
     if codec == Codec::DeltaVarint {
@@ -608,6 +619,10 @@ pub fn orient_to_disk_with(
         write_graph_header(&out_base, codec, m_star, stats)?;
     }
 
+    // All data files are durable; committing the manifest last makes it
+    // the orientation's crash-safe commit record, and the `open` below
+    // immediately re-checks the fresh graph against it.
+    Manifest::capture_and_store(&out_base)?;
     let disk = DiskGraph::open(&out_base, stats)?;
     let orig_degrees_rank: Vec<u32> = (0..n).map(|r| degrees[map.to_id(r) as usize]).collect();
     let report = PhaseReport {
@@ -910,7 +925,8 @@ mod tests {
         let replica_base = tmpbase("rep-copy");
         let bytes = og.replicate_to(&replica_base, &stats).unwrap();
         let n = g.num_vertices() as u64;
-        assert_eq!(bytes, og.disk.size_bytes() + n * 4 + 2 * n * 4);
+        let mft = std::fs::metadata(og.disk.mft_path()).unwrap().len();
+        assert_eq!(bytes, og.disk.size_bytes() + n * 4 + 2 * n * 4 + mft);
         let replica = OrientedGraph::open(&replica_base, &stats).unwrap();
         assert_eq!(replica.offsets, og.offsets);
         assert_eq!(replica.map, og.map);

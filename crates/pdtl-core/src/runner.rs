@@ -102,6 +102,12 @@ impl LocalRunner {
     {
         std::fs::create_dir_all(work_dir)
             .map_err(|e| pdtl_io::IoError::os("mkdir", work_dir, e))?;
+        // Full-digest the input against its integrity manifest before
+        // spending any compute on it: the quick tier inside
+        // `DiskGraph::open` cannot see a bit flip deep in a large
+        // `.adj`, and the invariant is that corruption is *detected*,
+        // never counted. Pre-integrity inputs (no manifest) skip this.
+        input.verify_full()?;
         let wall_start = Instant::now();
         let master_stats = IoStats::new();
 

@@ -26,14 +26,23 @@
 //!   ([`VarintIndex`]'s sidecar) that make `seek_to`/`skip` work in
 //!   decoded index space.
 //!
-//! A graph without a header is a legacy raw pair; raw writes emit no
-//! sidecars, so the PR 2 format stays byte-identical. [`adj_len`]
-//! always reports the decoded length, and [`file_set`] is the single
-//! enumeration of which files a base carries (replication, cleanup and
-//! tests all go through it).
+//! A graph without a header is a legacy raw pair; raw writes leave the
+//! PR 2 `.deg`/`.adj` bytes identical. [`adj_len`] always reports the
+//! decoded length, and [`file_set`] is the single enumeration of which
+//! files a base carries (replication, cleanup and tests all go through
+//! it).
+//!
+//! Every write additionally commits a `base.mft` integrity manifest
+//! ([`Manifest`]): lengths + CRC32C digests
+//! of the data files, written crash-safely after they are durable.
+//! `open` runs the quick verification tier against it (lengths +
+//! small-file digests); [`verify_full`] digests everything. A base
+//! without a manifest (written pre-integrity) still opens — the
+//! manifest is advisory-absent.
 //!
 //! [`adj_len`]: DiskGraph::adj_len
 //! [`file_set`]: DiskGraph::file_set
+//! [`verify_full`]: DiskGraph::verify_full
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -46,6 +55,7 @@ use pdtl_io::{
 
 use crate::csr::Graph;
 use crate::error::Result;
+use crate::manifest::{Manifest, VerifyReport, MFT_EXT};
 
 /// Magic word opening a `.hdr` sidecar (`"PDTL"` in LE bytes).
 const HDR_MAGIC: u32 = u32::from_le_bytes(*b"PDTL");
@@ -110,16 +120,27 @@ impl DiskGraph {
                 write_graph_header(&base, codec, graph.adj_len(), stats)?;
             }
         }
+        // Every data file is flushed + synced by its writer; committing
+        // the manifest last makes it the write's durable commit record.
+        Manifest::capture_and_store(&base)?;
         Self::open(&base, stats)
     }
 
     /// Open an existing graph at `base`, validating sizes.
     ///
-    /// The codec is taken from the `.hdr` sidecar (read through an
+    /// When an integrity manifest is present, its quick verification
+    /// tier runs first (every recorded length plus full digests of
+    /// small files), turning truncations and sidecar corruption into
+    /// typed [`Corrupt`](crate::GraphError::Corrupt) /
+    /// [`Truncated`](crate::GraphError::Truncated) errors at open time.
+    /// The codec is then taken from the `.hdr` sidecar (read through an
     /// accounted reader, so open-time I/O shows up in [`IoStats`]); a
     /// base without a header is a legacy raw pair.
     pub fn open(base: impl AsRef<Path>, stats: &Arc<IoStats>) -> Result<Self> {
         let base = base.as_ref().to_path_buf();
+        if let Some(manifest) = Manifest::load(&base)? {
+            manifest.verify_quick(&base)?;
+        }
         let deg = deg_path(&base);
         let adj = adj_path(&base);
         let deg_meta = std::fs::metadata(&deg).map_err(|e| IoError::os("stat", &deg, e))?;
@@ -191,10 +212,19 @@ impl DiskGraph {
         suffixed(&self.base, ".vix")
     }
 
+    /// Path of the integrity manifest sidecar (absent on pre-integrity
+    /// graphs).
+    pub fn mft_path(&self) -> PathBuf {
+        suffixed(&self.base, MFT_EXT)
+    }
+
     /// Every file extension a graph base may carry: the core pair, the
-    /// compressed-format sidecars, and the orientation sidecars
-    /// (rank map and suffix bounds) that `OrientedGraph` adds.
-    pub const ALL_EXTS: [&'static str; 6] = [".deg", ".adj", ".hdr", ".vix", ".map", ".bnd"];
+    /// compressed-format sidecars, the orientation sidecars (rank map
+    /// and suffix bounds) that `OrientedGraph` adds, and the integrity
+    /// manifest — which sorts last so replication copies it after the
+    /// data it covers.
+    pub const ALL_EXTS: [&'static str; 7] =
+        [".deg", ".adj", ".hdr", ".vix", ".map", ".bnd", MFT_EXT];
 
     /// The files that actually exist for this base, in [`ALL_EXTS`]
     /// order — the single enumeration replication, cleanup and tests
@@ -268,12 +298,12 @@ impl DiskGraph {
     pub fn load_parts(&self, stats: &Arc<IoStats>) -> Result<(Vec<u64>, Vec<u32>)> {
         let degrees = self.load_degrees(stats)?;
         let offsets = offsets_from_degrees(&degrees);
-        if *offsets.last().unwrap() != self.adj_len {
+        let degree_sum = offsets.last().copied().unwrap_or(0);
+        if degree_sum != self.adj_len {
             return Err(IoError::malformed(
                 self.adj_path(),
                 format!(
-                    "degree sum {} != adjacency length {}",
-                    offsets.last().unwrap(),
+                    "degree sum {degree_sum} != adjacency length {}",
                     self.adj_len
                 ),
             )
@@ -304,12 +334,15 @@ impl DiskGraph {
             }
         }
         let mut total = 0u64;
-        for src in self.file_set() {
-            let ext = format!(
-                ".{}",
-                src.extension().and_then(|e| e.to_str()).unwrap_or_default()
-            );
-            let dst = suffixed(&new_base, &ext);
+        // ALL_EXTS order puts the manifest last, so a replica that
+        // loses the copy mid-way has no manifest rather than a
+        // manifest covering files that never arrived.
+        for ext in Self::ALL_EXTS {
+            let src = suffixed(&self.base, ext);
+            if !src.exists() {
+                continue;
+            }
+            let dst = suffixed(&new_base, ext);
             let start = Instant::now();
             let bytes = std::fs::copy(&src, &dst).map_err(|e| IoError::os("copy", &src, e))?;
             let elapsed = start.elapsed();
@@ -324,6 +357,22 @@ impl DiskGraph {
             },
             total,
         ))
+    }
+
+    /// Full-tier integrity verification: digest every file the
+    /// manifest covers. `Ok(None)` when the base carries no manifest
+    /// (pre-integrity graph — nothing to verify against); a typed
+    /// [`Corrupt`](crate::GraphError::Corrupt) /
+    /// [`Truncated`](crate::GraphError::Truncated) error on any
+    /// mismatch. This is the tier behind `pdtl verify`, the runners'
+    /// input checks and post-copy replica verification — unlike the
+    /// quick tier in [`open`](Self::open) it catches bit flips deep
+    /// inside large adjacency files.
+    pub fn verify_full(&self) -> Result<Option<VerifyReport>> {
+        match Manifest::load(&self.base)? {
+            Some(m) => Ok(Some(m.verify_full(&self.base)?)),
+            None => Ok(None),
+        }
     }
 
     /// Delete every file in the [`file_set`](Self::file_set) (cleanup
@@ -436,6 +485,7 @@ pub fn from_sorted_packed_edges(
     }
     degw.finish()?;
     adjw.finish()?;
+    Manifest::capture_and_store(&base)?;
     Ok(DiskGraph {
         base,
         n,
@@ -528,10 +578,14 @@ mod tests {
         let g = sample();
         let dg = DiskGraph::write(&g, tmpbase("cp-src"), &stats).unwrap();
         let (dup, bytes) = dg.copy_to(tmpbase("cp-dst"), &stats).unwrap();
-        assert_eq!(bytes, dg.size_bytes());
+        let mft_len = std::fs::metadata(dg.mft_path()).unwrap().len();
+        assert_eq!(bytes, dg.size_bytes() + mft_len);
         assert_eq!(dup.load_csr(&stats).unwrap(), g);
+        // The replica carries its manifest and passes full verification.
+        dup.verify_full().unwrap().expect("replica has a manifest");
         dup.remove().unwrap();
         assert!(!dup.deg_path().exists());
+        assert!(!dup.mft_path().exists());
     }
 
     #[test]
@@ -546,8 +600,14 @@ mod tests {
         let g = sample();
         let base = tmpbase("mismatch");
         let dg = DiskGraph::write(&g, &base, &stats).unwrap();
-        // Truncate the adjacency file behind the handle's back.
+        // Truncate the adjacency file behind the handle's back: the
+        // manifest's quick tier rejects it at open time.
         std::fs::write(dg.adj_path(), [0u8; 4]).unwrap();
+        let err = DiskGraph::open(&base, &stats).unwrap_err();
+        assert!(matches!(err, crate::GraphError::Truncated { .. }), "{err}");
+        // Without a manifest (pre-integrity base) the structural
+        // degree-sum check still catches it at load time.
+        std::fs::remove_file(dg.mft_path()).unwrap();
         let dg = DiskGraph::open(&base, &stats).unwrap();
         assert!(dg.load_parts(&stats).is_err());
     }
@@ -599,14 +659,19 @@ mod tests {
     }
 
     #[test]
-    fn raw_write_emits_no_sidecars() {
+    fn raw_write_emits_no_codec_sidecars() {
         let stats = IoStats::new();
         let g = sample();
         let dg = DiskGraph::write(&g, tmpbase("nosidecar"), &stats).unwrap();
         assert_eq!(dg.codec(), Codec::Raw);
         assert!(!dg.hdr_path().exists());
         assert!(!dg.vix_path().exists());
-        assert_eq!(dg.file_set(), vec![dg.deg_path(), dg.adj_path()]);
+        // The data pair stays byte-identical to the PR 2 format; the
+        // only addition is the advisory integrity manifest.
+        assert_eq!(
+            dg.file_set(),
+            vec![dg.deg_path(), dg.adj_path(), dg.mft_path()]
+        );
     }
 
     #[test]
@@ -620,7 +685,13 @@ mod tests {
         assert!(dg.hdr_path().exists() && dg.vix_path().exists());
         assert_eq!(
             dg.file_set(),
-            vec![dg.deg_path(), dg.adj_path(), dg.hdr_path(), dg.vix_path()]
+            vec![
+                dg.deg_path(),
+                dg.adj_path(),
+                dg.hdr_path(),
+                dg.vix_path(),
+                dg.mft_path()
+            ]
         );
 
         // Reopening recovers the codec and decoded length from the
@@ -639,7 +710,12 @@ mod tests {
         let g = sample();
         let dg = DiskGraph::write_with(&g, tmpbase("vcp-src"), Codec::DeltaVarint, &stats).unwrap();
         let (dup, bytes) = dg.copy_to(tmpbase("vcp-dst"), &stats).unwrap();
-        assert_eq!(bytes, dg.size_bytes(), "all four files copied");
+        let mft_len = std::fs::metadata(dg.mft_path()).unwrap().len();
+        assert_eq!(
+            bytes,
+            dg.size_bytes() + mft_len,
+            "all data files plus the manifest copied"
+        );
         assert_eq!(dup.codec(), Codec::DeltaVarint);
         assert_eq!(dup.load_csr(&stats).unwrap(), g);
         dup.remove().unwrap();
@@ -653,7 +729,74 @@ mod tests {
         let base = tmpbase("badhdr");
         let dg = DiskGraph::write_with(&g, &base, Codec::DeltaVarint, &stats).unwrap();
         std::fs::write(dg.hdr_path(), 0xdeadbeefu32.to_le_bytes()).unwrap();
+        // With the manifest present the garbage header is caught by the
+        // quick integrity tier at open.
+        let err = DiskGraph::open(&base, &stats).unwrap_err();
+        assert!(matches!(err, crate::GraphError::Truncated { .. }), "{err}");
+        // Without the manifest the structural header parse still
+        // rejects it with a typed error.
+        std::fs::remove_file(dg.mft_path()).unwrap();
         let err = DiskGraph::open(&base, &stats).unwrap_err();
         assert!(err.to_string().contains("header"), "{err}");
+    }
+
+    #[test]
+    fn write_commits_a_manifest_and_full_verify_passes() {
+        let stats = IoStats::new();
+        let g = sample();
+        for codec in Codec::ALL {
+            let base = tmpbase(&format!("mft-{}", codec.name()));
+            let dg = DiskGraph::write_with(&g, &base, codec, &stats).unwrap();
+            assert!(dg.mft_path().exists());
+            let report = dg.verify_full().unwrap().expect("manifest present");
+            assert_eq!(
+                report.files,
+                dg.file_set().len() - 1,
+                "covers all data files"
+            );
+        }
+    }
+
+    #[test]
+    fn pre_integrity_graph_without_manifest_still_opens() {
+        let stats = IoStats::new();
+        let g = sample();
+        let base = tmpbase("legacy");
+        let dg = DiskGraph::write(&g, &base, &stats).unwrap();
+        std::fs::remove_file(dg.mft_path()).unwrap();
+        let dg = DiskGraph::open(&base, &stats).unwrap();
+        assert_eq!(dg.load_csr(&stats).unwrap(), g);
+        assert!(
+            dg.verify_full().unwrap().is_none(),
+            "nothing to verify against"
+        );
+    }
+
+    #[test]
+    fn deep_bitflip_passes_open_but_fails_full_verify() {
+        let stats = IoStats::new();
+        // Big enough that .adj exceeds the quick-digest cutoff.
+        let edges: Vec<(u32, u32)> = (0u32..1500).map(|i| (i, (i + 7) % 1500)).collect();
+        let g = Graph::from_edges(1500, &edges).unwrap();
+        let base = tmpbase("deepflip");
+        let dg = DiskGraph::write(&g, &base, &stats).unwrap();
+        assert!(
+            std::fs::metadata(dg.adj_path()).unwrap().len() > crate::manifest::QUICK_DIGEST_MAX
+        );
+        let mut bytes = std::fs::read(dg.adj_path()).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(dg.adj_path(), &bytes).unwrap();
+        // Length unchanged, file too big for the quick digest: open
+        // succeeds — the full tier is what catches it.
+        let dg = DiskGraph::open(&base, &stats).unwrap();
+        let err = dg.verify_full().unwrap_err();
+        assert!(matches!(err, crate::GraphError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn all_exts_agrees_with_manifest_data_exts() {
+        assert_eq!(DiskGraph::ALL_EXTS[..6], crate::manifest::DATA_EXTS);
+        assert_eq!(DiskGraph::ALL_EXTS[6], MFT_EXT);
     }
 }

@@ -1,6 +1,7 @@
 //! Error type for the graph substrate.
 
 use std::fmt;
+use std::path::PathBuf;
 
 /// Result alias for graph operations.
 pub type Result<T> = std::result::Result<T, GraphError>;
@@ -20,6 +21,24 @@ pub enum GraphError {
     },
     /// A structural invariant of the PDTL format was violated.
     Invalid(String),
+    /// A file's bytes do not match the digest recorded in the graph's
+    /// integrity manifest (or the manifest failed its own self-check).
+    Corrupt {
+        /// The corrupted file.
+        path: PathBuf,
+        /// What the integrity check found.
+        detail: String,
+    },
+    /// A file is shorter than the length recorded in the graph's
+    /// integrity manifest — a lost tail or interrupted write.
+    Truncated {
+        /// The truncated file.
+        path: PathBuf,
+        /// Length (bytes) the manifest recorded.
+        expected: u64,
+        /// Length (bytes) found on disk.
+        actual: u64,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -30,6 +49,18 @@ impl fmt::Display for GraphError {
                 write!(f, "vertex {vertex} out of range (n = {n})")
             }
             GraphError::Invalid(msg) => write!(f, "invalid graph: {msg}"),
+            GraphError::Corrupt { path, detail } => {
+                write!(f, "corrupt file {}: {detail}", path.display())
+            }
+            GraphError::Truncated {
+                path,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "truncated file {}: manifest records {expected} bytes, found {actual}",
+                path.display()
+            ),
         }
     }
 }
@@ -61,5 +92,16 @@ mod tests {
         assert!(e.to_string().contains("not sorted"));
         let e: GraphError = pdtl_io::IoError::malformed("/x", "bad").into();
         assert!(e.to_string().contains("bad"));
+        let e = GraphError::Corrupt {
+            path: "/g.adj".into(),
+            detail: "checksum mismatch".into(),
+        };
+        assert!(e.to_string().contains("/g.adj") && e.to_string().contains("checksum"));
+        let e = GraphError::Truncated {
+            path: "/g.vix".into(),
+            expected: 100,
+            actual: 60,
+        };
+        assert!(e.to_string().contains("100") && e.to_string().contains("60"));
     }
 }

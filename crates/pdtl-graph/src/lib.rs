@@ -17,6 +17,10 @@
 //!   used for the paper's synthetic graphs and Chung–Lu power-law
 //!   generators used as scaled stand-ins for the paper's real datasets
 //!   (LiveJournal, Orkut, Twitter, Yahoo).
+//! * [`manifest`] — per-graph integrity manifests (`.mft`): CRC32C
+//!   digests + lengths of every data file, committed crash-safely and
+//!   verified at open / run / replicate time so storage corruption is
+//!   detected (or healed) instead of counted.
 //! * [`stats`] — the dataset statistics of Table I.
 //! * [`verify`] — brute-force triangle counting/listing used as the
 //!   correctness oracle for every engine in the workspace.
@@ -27,6 +31,7 @@ pub mod datasets;
 pub mod disk;
 pub mod error;
 pub mod gen;
+pub mod manifest;
 pub mod rank;
 pub mod stats;
 pub mod text;
@@ -35,5 +40,6 @@ pub mod verify;
 pub use csr::Graph;
 pub use disk::DiskGraph;
 pub use error::{GraphError, Result};
+pub use manifest::{Manifest, VerifyReport};
 pub use rank::RankMap;
 pub use stats::GraphStats;

@@ -18,12 +18,17 @@ use crate::stream::U32Source;
 
 /// A [`U32Source`] that delivers at most `budget` values and then
 /// errors on every subsequent read, emulating a short read / truncated
-/// replica at a deterministic offset.
+/// replica at a deterministic offset. A second mode
+/// ([`with_bitflip`](Self::with_bitflip)) instead corrupts one value
+/// *silently* in flight, modeling media corruption the transport
+/// cannot see — the case only end-to-end digests catch.
 #[derive(Debug)]
 pub struct FaultySource<S> {
     inner: S,
     /// Values still deliverable before the injected failure.
     remaining: u64,
+    /// Silent corruption: XOR `mask` into the value at source `index`.
+    flip: Option<(u64, u32)>,
 }
 
 impl<S: U32Source> FaultySource<S> {
@@ -33,6 +38,20 @@ impl<S: U32Source> FaultySource<S> {
         FaultySource {
             inner,
             remaining: budget,
+            flip: None,
+        }
+    }
+
+    /// Wrap `inner` so the value at source index `index` is delivered
+    /// XOR-ed with `mask` (no read budget). Unlike the short-read mode
+    /// this fault is *silent*: reads succeed and the corrupted value
+    /// flows into the engine, which is exactly why checksummed
+    /// manifests exist — transports cannot detect it.
+    pub fn with_bitflip(inner: S, index: u64, mask: u32) -> Self {
+        FaultySource {
+            inner,
+            remaining: u64::MAX,
+            flip: Some((index, mask)),
         }
     }
 
@@ -65,8 +84,15 @@ impl<S: U32Source> U32Source for FaultySource<S> {
             return Err(self.exhausted());
         }
         let allowed = self.remaining.min(n as u64) as usize;
+        let before = self.inner.position();
         let got = self.inner.read_into(out, allowed)?;
         self.remaining -= got as u64;
+        if let Some((index, mask)) = self.flip {
+            if index >= before && index < before + got as u64 {
+                let slot = out.len() - got + (index - before) as usize;
+                out[slot] ^= mask;
+            }
+        }
         if got == 0 && allowed < n {
             // At EOF with the budget smaller than the request: report
             // honest EOF rather than a fault — the budget only fires
@@ -133,6 +159,26 @@ mod tests {
         assert_eq!(src.position(), 2);
         assert_eq!(src.read_into(&mut out, 1).unwrap(), 1);
         assert_eq!(out, vec![30]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bitflip_corrupts_silently_at_the_seeded_index() {
+        let dir = temp_dir("flip");
+        let path = write_values(&dir, &[10, 20, 30, 40, 50]);
+        let stats = Arc::new(IoStats::default());
+        let reader = crate::stream::U32Reader::open(&path, stats).unwrap();
+        let mut src = FaultySource::with_bitflip(reader, 3, 0x8000_0001);
+        let mut out = Vec::new();
+        assert_eq!(src.read_into(&mut out, 2).unwrap(), 2);
+        assert_eq!(src.read_into(&mut out, 3).unwrap(), 3);
+        assert_eq!(out, vec![10, 20, 30, 40 ^ 0x8000_0001, 50]);
+        // Re-reading the same index corrupts again: the fault models
+        // bad media, not a one-shot glitch.
+        src.seek_to(3).unwrap();
+        out.clear();
+        assert_eq!(src.read_into(&mut out, 1).unwrap(), 1);
+        assert_eq!(out, vec![40 ^ 0x8000_0001]);
         std::fs::remove_dir_all(&dir).ok();
     }
 

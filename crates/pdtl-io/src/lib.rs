@@ -41,8 +41,10 @@
 
 pub mod backend;
 pub mod budget;
+pub mod checksum;
 pub mod codec;
 pub mod cost;
+pub mod diskfault;
 pub mod error;
 pub mod extsort;
 pub mod fault;
@@ -55,8 +57,10 @@ pub mod uring;
 
 pub use backend::{IoBackend, BACKEND_ENV};
 pub use budget::MemoryBudget;
+pub use checksum::{crc32c, crc32c_of_file, Crc32c};
 pub use codec::{Codec, VarintAdjWriter, VarintIndex, VarintSource, CODEC_ENV};
 pub use cost::{CostModel, ModeledTime};
+pub use diskfault::{DiskFaultKind, DiskFaultPlan, DiskFaultSpec, FaultTarget, DISK_FAULT_ENV};
 pub use error::{IoError, Result};
 pub use extsort::{external_sort_u64, merge_sorted_files};
 pub use fault::FaultySource;

@@ -428,13 +428,20 @@ impl U32Writer {
         Ok(())
     }
 
-    /// Flush buffers and sync lengths; must be called before dropping if
-    /// the data matters (drop also flushes, but swallows errors).
+    /// Flush buffers and make the file durable; must be called before
+    /// dropping if the data matters (drop also flushes, but swallows
+    /// errors and does not sync). `sync_all` before close means a
+    /// crash immediately after a graph write — or after `copy_to`
+    /// lands a replica — cannot lose acknowledged bytes, which is the
+    /// contract the integrity manifest's digests are recorded against.
     pub fn finish(mut self) -> Result<u64> {
         self.flush_buf()?;
         self.file
             .flush()
             .map_err(|e| IoError::os("flush", &self.path, e))?;
+        self.file
+            .sync_all()
+            .map_err(|e| IoError::os("sync", &self.path, e))?;
         Ok(self.written_u32)
     }
 }

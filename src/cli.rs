@@ -18,7 +18,11 @@
 //!   failure instead of retrying/reassigning, and `--fault` injects a
 //!   deterministic fault plan (same grammar as `PDTL_FAULT`, e.g.
 //!   `seed=42;kill=1`);
-//! * `list <base> <out.bin> [--cores p]` — triangle listing to file.
+//! * `list <base> <out.bin> [--cores p]` — triangle listing to file;
+//! * `verify <base>` — full integrity verification: open the graph
+//!   (structural + quick manifest checks) and digest every file
+//!   against the `.mft` manifest. Graphs written before the integrity
+//!   layer (no manifest) pass with a note.
 //!
 //! Parsing is kept dependency-free and fully unit-tested; the binary is
 //! a thin wrapper around [`run`].
@@ -108,10 +112,15 @@ pub enum Command {
         /// Cores.
         cores: usize,
     },
+    /// Full integrity verification against the `.mft` manifest.
+    Verify {
+        /// Input base path.
+        base: PathBuf,
+    },
 }
 
 /// Usage text.
-pub const USAGE: &str = "usage: pdtl <gen|import|export|stats|count|cluster|list> ... \
+pub const USAGE: &str = "usage: pdtl <gen|import|export|stats|count|cluster|list|verify> ... \
 (see crate docs for flags)";
 
 /// Parse an argument vector (without the program name).
@@ -216,6 +225,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             base: need(1, "input base")?,
             out: need(2, "output file")?,
             cores: get_usize(&flags, "cores", 4)?,
+        }),
+        "verify" => Ok(Command::Verify {
+            base: need(1, "input base")?,
         }),
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
     }
@@ -444,6 +456,25 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String> {
             )
             .map_err(|e| fail(&e))
         }
+        Command::Verify { base } => {
+            // `open` runs the structural checks plus the quick manifest
+            // tier; `verify_full` then digests every covered file.
+            let dg = DiskGraph::open(&base, &stats).map_err(|e| fail(&e))?;
+            match dg.verify_full().map_err(|e| fail(&e))? {
+                Some(report) => writeln!(
+                    out,
+                    "ok: {} files verified, {} bytes digested",
+                    report.files, report.bytes
+                )
+                .map_err(|e| fail(&e)),
+                None => writeln!(
+                    out,
+                    "ok (structural checks only): no manifest — graph predates \
+                     the integrity layer; rewrite it to gain digests"
+                )
+                .map_err(|e| fail(&e)),
+            }
+        }
     }
 }
 
@@ -584,6 +615,17 @@ mod tests {
     }
 
     #[test]
+    fn parses_verify() {
+        assert_eq!(
+            parse(&args("verify /tmp/g")).unwrap(),
+            Command::Verify {
+                base: "/tmp/g".into()
+            }
+        );
+        assert!(parse(&args("verify")).is_err());
+    }
+
+    #[test]
     fn rejects_bad_input() {
         assert!(parse(&args("")).is_err());
         assert!(parse(&args("frobnicate x")).is_err());
@@ -635,6 +677,46 @@ mod tests {
         let g = Dataset::Rmat(7).build().unwrap();
         let expected = pdtl_graph::verify::triangle_count(&g);
         assert!(text.contains(&format!("triangles: {expected}")));
+    }
+
+    #[test]
+    fn end_to_end_verify() {
+        let base = tmp("verify");
+        let mut out = Vec::new();
+        run(
+            Command::Gen {
+                dataset: "rmat-6".into(),
+                out: base.clone(),
+                scale: 1.0,
+            },
+            &mut out,
+        )
+        .unwrap();
+        // Freshly written graph verifies clean.
+        run(Command::Verify { base: base.clone() }, &mut out).unwrap();
+        let text = String::from_utf8(out.clone()).unwrap();
+        assert!(text.contains("files verified"), "{text}");
+
+        // A flipped bit anywhere is a typed error, not a panic.
+        let dg = DiskGraph::open(&base, &IoStats::new()).unwrap();
+        let mut bytes = std::fs::read(dg.adj_path()).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x04;
+        std::fs::write(dg.adj_path(), &bytes).unwrap();
+        let err = run(Command::Verify { base: base.clone() }, &mut out).unwrap_err();
+        assert!(
+            err.contains("corrupt") || err.contains("truncated"),
+            "{err}"
+        );
+        bytes[mid] ^= 0x04;
+        std::fs::write(dg.adj_path(), &bytes).unwrap();
+
+        // A pre-integrity graph (no manifest) passes with a note.
+        std::fs::remove_file(dg.mft_path()).unwrap();
+        out.clear();
+        run(Command::Verify { base }, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("no manifest"), "{text}");
     }
 
     #[test]

@@ -96,6 +96,7 @@ fn cluster_network_within_theorem_iv3() {
     // pruning bounds; delta-varint: the compressed adjacency plus the
     // .hdr/.vix sidecars), so orient the same input once under the
     // session default and measure the file set the runner will ship.
+    // Every replica also carries the constant-size integrity manifest.
     let (oracle, _) = orient_to_disk(&input, tmpdir("net-oracle").join("o"), 2, &stats).unwrap();
     let replica_bytes: u64 = oracle
         .disk
@@ -103,15 +104,16 @@ fn cluster_network_within_theorem_iv3() {
         .iter()
         .map(|p| std::fs::metadata(p).unwrap().len())
         .sum();
+    let mft_bytes = std::fs::metadata(oracle.disk.mft_path()).unwrap().len();
     if oracle.disk.codec() == Codec::Raw {
         assert_eq!(
             replica_bytes,
-            (g.num_edges() + 4 * g.num_vertices() as u64) * 4,
-            "raw replica: |E| adjacency + n degrees + n rank map + 2n bounds"
+            (g.num_edges() + 4 * g.num_vertices() as u64) * 4 + mft_bytes,
+            "raw replica: |E| adjacency + n degrees + n rank map + 2n bounds + manifest"
         );
     } else {
         assert!(
-            replica_bytes < (g.num_edges() + 4 * g.num_vertices() as u64) * 4,
+            replica_bytes < (g.num_edges() + 4 * g.num_vertices() as u64) * 4 + mft_bytes,
             "a compressed replica must ship fewer bytes than raw"
         );
     }

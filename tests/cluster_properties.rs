@@ -77,10 +77,11 @@ proptest! {
             .iter()
             .map(|p| std::fs::metadata(p).unwrap().len())
             .sum();
+        let mft_bytes = std::fs::metadata(oracle.disk.mft_path()).unwrap().len();
         if oracle.disk.codec() == Codec::Raw {
             prop_assert_eq!(
                 replica_bytes,
-                (g.num_edges() + 4 * g.num_vertices() as u64) * 4
+                (g.num_edges() + 4 * g.num_vertices() as u64) * 4 + mft_bytes
             );
         }
         prop_assert_eq!(report.network.graph, (nodes as u64 - 1) * replica_bytes);

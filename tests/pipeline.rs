@@ -75,7 +75,9 @@ fn replicas_are_bit_identical() {
     let stats = IoStats::new();
     let dg = DiskGraph::write(&g, dir.join("src"), &stats).unwrap();
     let (copy, bytes) = dg.copy_to(dir.join("dst"), &stats).unwrap();
-    assert_eq!(bytes, dg.size_bytes());
+    // the copy ships the data files plus the integrity manifest
+    let mft = std::fs::metadata(dg.mft_path()).unwrap().len();
+    assert_eq!(bytes, dg.size_bytes() + mft);
     assert_eq!(
         std::fs::read(dg.adj_path()).unwrap(),
         std::fs::read(copy.adj_path()).unwrap()
