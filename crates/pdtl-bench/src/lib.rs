@@ -14,6 +14,7 @@
 
 pub mod experiments;
 pub mod kernelbench;
+pub mod servebench;
 pub mod workbench;
 
 pub use workbench::{fmt_duration, fmt_secs, Workbench};

@@ -1,0 +1,203 @@
+//! Serve-mode throughput benchmark with a JSON emitter.
+//!
+//! `exp serve [--json]` boots a catalog daemon over a warm RMAT-12
+//! graph (both codecs pre-oriented, so queries measure steady-state
+//! serving, not preprocessing), then drives a sustained mixed workload
+//! — exact count on both codecs, listing, clustering — from several
+//! concurrent clients for a measurement window (`PDTL_BENCH_MS × 10`,
+//! so the default is a 2 s soak). The emitted `BENCH_serve.json` maps:
+//!
+//! * `serve/qps` — sustained queries per second over the window;
+//! * `serve/p50_us` / `serve/p99_us` — latency quantiles from the
+//!   daemon's fixed-bucket histogram (bucket upper bounds);
+//! * `serve/queries` — total queries answered.
+//!
+//! Any failed query is a hard error: the benchmark doubles as a soak
+//! test of the daemon under concurrent load.
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pdtl_cluster::{Catalog, QueryOperation, QueryOptions, ServeClient, ServeConfig, Server};
+use pdtl_graph::gen::rmat::rmat;
+use pdtl_graph::DiskGraph;
+use pdtl_io::{Codec, IoStats};
+
+/// The serve workload, pinned so reruns are comparable.
+pub mod workload {
+    /// `(scale, seed)` of the catalog graph (warm RMAT-12, the fixture
+    /// of the engine-level accounting tests).
+    pub const SERVE_RMAT: (u32, u64) = (12, 18);
+    /// Concurrent client connections driving the load.
+    pub const CLIENTS: usize = 4;
+    /// Daemon worker-pool size.
+    pub const WORKERS: usize = 4;
+    /// Per-query memory budget in edges.
+    pub const BUDGET_EDGES: u64 = 1 << 16;
+}
+
+/// Aggregated result of the soak.
+#[derive(Debug, Clone)]
+pub struct ServeBenchResult {
+    /// Metric name (`serve/...`).
+    pub name: String,
+    /// Metric value (unit in the name).
+    pub value: f64,
+}
+
+fn window() -> Duration {
+    let ms = std::env::var("PDTL_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(200);
+    Duration::from_millis(ms * 10)
+}
+
+/// Boot the daemon, soak it, and return the throughput metrics.
+///
+/// Panics on any failed query — a daemon that drops queries under load
+/// has no meaningful throughput number.
+pub fn run_serve_bench() -> Vec<ServeBenchResult> {
+    let dir = std::env::temp_dir().join(format!("pdtl-servebench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cat_dir = dir.join("catalog");
+    std::fs::create_dir_all(&cat_dir).expect("create catalog dir");
+    let (scale, seed) = workload::SERVE_RMAT;
+    let g = rmat(scale, seed).expect("generate RMAT");
+    DiskGraph::write(&g, cat_dir.join("rmat"), &IoStats::new()).expect("write catalog graph");
+
+    let catalog = Catalog::open(
+        &cat_dir,
+        &dir.join("work"),
+        &[Codec::Raw, Codec::DeltaVarint],
+        workload::WORKERS,
+    )
+    .expect("open catalog");
+    let server = Server::spawn(
+        catalog,
+        ServeConfig {
+            workers: workload::WORKERS,
+            ..Default::default()
+        },
+    )
+    .expect("spawn server");
+    let addr = server.addr();
+
+    // The mixed workload each client cycles through.
+    let mix: Vec<QueryOperation> = vec![
+        QueryOperation::Count,
+        QueryOperation::Count, // second slot runs delta-varint
+        QueryOperation::List { limit: 0 },
+        QueryOperation::Clustering,
+    ];
+    let stop = Arc::new(AtomicBool::new(false));
+    let soak = window();
+    let start = Instant::now();
+    let clients: Vec<_> = (0..workload::CLIENTS)
+        .map(|c| {
+            let addr = addr.clone();
+            let stop = stop.clone();
+            let mix = mix.clone();
+            std::thread::spawn(move || {
+                let mut client = ServeClient::connect(&addr).expect("connect");
+                let mut i = c; // de-phase the clients
+                while !stop.load(Ordering::Relaxed) {
+                    let op = mix[i % mix.len()];
+                    let codec = if i % mix.len() == 1 {
+                        Codec::DeltaVarint
+                    } else {
+                        Codec::Raw
+                    };
+                    let options = QueryOptions {
+                        cores: 2,
+                        budget_edges: workload::BUDGET_EDGES,
+                        codec,
+                        ..Default::default()
+                    };
+                    client
+                        .query("rmat", op, options)
+                        .expect("query failed under soak");
+                    i += 1;
+                }
+            })
+        })
+        .collect();
+    std::thread::sleep(soak);
+    stop.store(true, Ordering::Relaxed);
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    let elapsed = start.elapsed();
+    let stats = server.shutdown();
+    assert_eq!(stats.failed, 0, "soak must not fail queries");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let qps = stats.served as f64 / elapsed.as_secs_f64();
+    vec![
+        ServeBenchResult {
+            name: "serve/qps".into(),
+            value: qps,
+        },
+        ServeBenchResult {
+            name: "serve/p50_us".into(),
+            value: stats.quantile_micros(0.5) as f64,
+        },
+        ServeBenchResult {
+            name: "serve/p99_us".into(),
+            value: stats.quantile_micros(0.99) as f64,
+        },
+        ServeBenchResult {
+            name: "serve/queries".into(),
+            value: stats.served as f64,
+        },
+    ]
+}
+
+/// Render results as a JSON object: `{"serve/qps": value, ...}`.
+pub fn to_json(results: &[ServeBenchResult]) -> String {
+    let mut s = String::from("{\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        let _ = writeln!(s, "  \"{}\": {:.1}{comma}", r.name, r.value);
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Write the JSON snapshot to `path`.
+pub fn write_json(path: impl AsRef<Path>, results: &[ServeBenchResult]) -> std::io::Result<()> {
+    std::fs::write(path, to_json(results))
+}
+
+/// Human-readable table (what `exp serve` prints).
+pub fn to_table(results: &[ServeBenchResult]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{:<24} {:>14}", "metric", "value");
+    for r in results {
+        let _ = writeln!(s, "{:<24} {:>14.1}", r.name, r.value);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soak_produces_sane_metrics_and_json() {
+        std::env::set_var("PDTL_BENCH_MS", "20");
+        let results = run_serve_bench();
+        let names: Vec<&str> = results.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["serve/qps", "serve/p50_us", "serve/p99_us", "serve/queries"]
+        );
+        assert!(results.iter().all(|r| r.value > 0.0), "{results:?}");
+        let json = to_json(&results);
+        assert!(json.starts_with("{\n") && json.ends_with("}\n"), "{json}");
+        assert!(json.contains("\"serve/qps\""), "{json}");
+    }
+}

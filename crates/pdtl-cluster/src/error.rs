@@ -34,6 +34,14 @@ pub enum ClusterError {
         /// The deadline that expired.
         after: std::time::Duration,
     },
+    /// A serve-mode query was answered with a typed rejection; the
+    /// daemon is healthy and keeps serving.
+    Query {
+        /// The request id the rejection echoes.
+        id: u32,
+        /// The server's failure description.
+        detail: String,
+    },
     /// A node was given up on after exhausting its retry budget.
     NodeFailed {
         /// Cluster id of the failed node.
@@ -71,6 +79,9 @@ impl fmt::Display for ClusterError {
             }
             ClusterError::Timeout { peer, after } => {
                 write!(f, "timed out waiting on {peer} after {after:?}")
+            }
+            ClusterError::Query { id, detail } => {
+                write!(f, "query {id} rejected: {detail}")
             }
             ClusterError::NodeFailed {
                 node,

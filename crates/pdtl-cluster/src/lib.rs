@@ -27,12 +27,16 @@ pub mod netmodel;
 pub mod node;
 pub mod report;
 pub mod runner;
+pub mod server;
 pub mod tcp;
 pub mod transport;
 
 pub use error::{ClusterError, Result};
 pub use fault::{FaultKind, FaultPlan, FaultSpec, FAULT_ENV};
-pub use message::{Message, NodeDirectives, NodeFault};
+pub use message::{
+    CatalogGraphInfo, Message, NodeDirectives, NodeFault, QueryOperation, QueryOptions, ServerStats,
+};
 pub use netmodel::{NetModel, NetTraffic};
 pub use report::{ClusterReport, NodeReport};
 pub use runner::{ClusterConfig, ClusterRunner, FailurePolicy, RetryPolicy, TransportKind};
+pub use server::{Catalog, QueryReply, ServeClient, ServeConfig, Server};

@@ -307,6 +307,242 @@ pub struct WorkerSummary {
     pub wall_nanos: u64,
 }
 
+/// The analytics operation a serve-mode [`Message::Query`] requests.
+///
+/// On the wire every operation is one fixed 17-byte record — kind byte,
+/// `u32` arg `a`, `u64` arg `b`, `u32` arg `c` — so adding an operation
+/// never changes message framing. Unused args encode as zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryOperation {
+    /// Exact triangle count (kind 0).
+    Count,
+    /// Exact listing; at most `limit` triples are returned in the
+    /// response (the count is always exact) (kind 1, `a = limit`).
+    List {
+        /// Maximum triples echoed back in the response.
+        limit: u32,
+    },
+    /// Clustering coefficients: the response carries the average local
+    /// coefficient and the transitivity ratio (kind 2).
+    Clustering,
+    /// K-truss: the response carries the `k`-truss edge count and the
+    /// maximum `k` of the decomposition (kind 3, `a = k`).
+    KTruss {
+        /// The truss order requested.
+        k: u32,
+    },
+    /// DOULION estimate averaged over `trials` sparsifications (kind 4,
+    /// `a = p_ppm`, `b = seed`, `c = trials`).
+    Doulion {
+        /// Edge-keep probability in parts per million (`1_000_000` = 1.0);
+        /// an integer so the wire stays free of float encodings.
+        p_ppm: u32,
+        /// Base RNG seed; trial `t` uses `seed + t`.
+        seed: u64,
+        /// Number of independent estimates averaged.
+        trials: u32,
+    },
+}
+
+impl QueryOperation {
+    /// Record bytes: kind + `a` + `b` + `c`.
+    const WIRE_LEN: usize = 1 + 4 + 8 + 4;
+
+    fn encode(&self, b: &mut BytesMut) {
+        let (kind, a, bb, c) = match *self {
+            QueryOperation::Count => (0u8, 0u32, 0u64, 0u32),
+            QueryOperation::List { limit } => (1, limit, 0, 0),
+            QueryOperation::Clustering => (2, 0, 0, 0),
+            QueryOperation::KTruss { k } => (3, k, 0, 0),
+            QueryOperation::Doulion {
+                p_ppm,
+                seed,
+                trials,
+            } => (4, p_ppm, seed, trials),
+        };
+        b.put_u8(kind);
+        b.put_u32_le(a);
+        b.put_u64_le(bb);
+        b.put_u32_le(c);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self> {
+        need(buf, Self::WIRE_LEN)?;
+        let kind = buf.get_u8();
+        let a = buf.get_u32_le();
+        let b = buf.get_u64_le();
+        let c = buf.get_u32_le();
+        match kind {
+            0 => Ok(QueryOperation::Count),
+            1 => Ok(QueryOperation::List { limit: a }),
+            2 => Ok(QueryOperation::Clustering),
+            3 => Ok(QueryOperation::KTruss { k: a }),
+            4 => Ok(QueryOperation::Doulion {
+                p_ppm: a,
+                seed: b,
+                trials: c,
+            }),
+            k => Err(ClusterError::Protocol(format!(
+                "unknown operation kind {k}"
+            ))),
+        }
+    }
+
+    /// Human-readable operation name (CLI/report output).
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueryOperation::Count => "count",
+            QueryOperation::List { .. } => "list",
+            QueryOperation::Clustering => "clustering",
+            QueryOperation::KTruss { .. } => "ktruss",
+            QueryOperation::Doulion { .. } => "doulion",
+        }
+    }
+}
+
+/// Per-query engine knobs carried by [`Message::Query`] — the serve-mode
+/// analogue of a [`WorkerConfig`]: each query picks its own parallelism,
+/// memory budget, I/O backend and codec.
+///
+/// **Wire format.** A length-prefixed record in the [`WorkerConfig`]
+/// style: `u16` length, then `cores` (u32), `budget_edges` (u64), the
+/// shared flags byte (bit 0 scan pruning, bits 1–2 backend), the codec
+/// discriminant (u8), and `io_latency_us` (u32). Decoders skip trailing
+/// bytes, so future knobs extend the record without a new tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryOptions {
+    /// Worker threads for this query; `0` means "server default".
+    pub cores: u32,
+    /// Per-worker memory budget in edges (the paper's `M`).
+    pub budget_edges: u64,
+    /// Enable rank-space scan pruning.
+    pub scan_pruning: bool,
+    /// I/O backend the MGT scan streams through.
+    pub backend: IoBackend,
+    /// Which oriented on-disk replica to run against.
+    pub codec: Codec,
+    /// Emulated per-block device latency in microseconds (0 = real
+    /// hardware) — doubles as a deterministic slow-query injection.
+    pub io_latency_us: u32,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        Self {
+            cores: 0,
+            budget_edges: 1 << 20,
+            scan_pruning: true,
+            backend: IoBackend::default_from_env(),
+            codec: Codec::default_from_env(),
+            io_latency_us: 0,
+        }
+    }
+}
+
+impl QueryOptions {
+    /// Known record bytes: cores + budget + flags + codec + latency.
+    const WIRE_LEN: usize = 4 + 8 + 1 + 1 + 4;
+
+    fn encode_record(&self, b: &mut BytesMut) {
+        b.put_u16_le(Self::WIRE_LEN as u16);
+        b.put_u32_le(self.cores);
+        b.put_u64_le(self.budget_edges);
+        let backend = match self.backend {
+            IoBackend::Blocking => 0u8,
+            IoBackend::Prefetch => 1,
+            IoBackend::Mmap => 2,
+            IoBackend::Uring => 3,
+        };
+        b.put_u8(u8::from(self.scan_pruning) * FLAG_SCAN_PRUNING + (backend << BACKEND_SHIFT));
+        b.put_u8(self.codec.discriminant());
+        b.put_u32_le(self.io_latency_us);
+    }
+
+    fn decode_record(buf: &mut Bytes) -> Result<Self> {
+        need(buf, 2)?;
+        let len = buf.get_u16_le() as usize;
+        need(buf, len)?;
+        if len < Self::WIRE_LEN {
+            return Err(ClusterError::Protocol(format!(
+                "query options record of {len} bytes, need at least {}",
+                Self::WIRE_LEN
+            )));
+        }
+        let cores = buf.get_u32_le();
+        let budget_edges = buf.get_u64_le();
+        let flags = buf.get_u8();
+        let codec = Codec::from_discriminant(buf.get_u8()).unwrap_or(Codec::Raw);
+        let io_latency_us = buf.get_u32_le();
+        buf.advance(len - Self::WIRE_LEN);
+        Ok(QueryOptions {
+            cores,
+            budget_edges,
+            scan_pruning: flags & FLAG_SCAN_PRUNING != 0,
+            backend: WorkerConfig::backend_from_flags(flags),
+            codec,
+            io_latency_us,
+        })
+    }
+}
+
+/// One catalog entry in a [`Message::StatsResult`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CatalogGraphInfo {
+    /// Graph name (the catalog file stem).
+    pub name: String,
+    /// Vertex count.
+    pub vertices: u32,
+    /// Undirected edge count `|E*|`.
+    pub m_star: u64,
+}
+
+/// Aggregate serve-mode counters returned by a stats request.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ServerStats {
+    /// Queries answered successfully since boot.
+    pub served: u64,
+    /// Queries that ended in a [`Message::QueryError`].
+    pub failed: u64,
+    /// Queries admitted and currently executing.
+    pub inflight: u32,
+    /// Catalog entries rejected at registration (failed verification).
+    pub rejected_graphs: u32,
+    /// Bytes read from disk across all queries.
+    pub bytes_read: u64,
+    /// `u32`s delivered by compressed-adjacency decoders.
+    pub u32s_decoded: u64,
+    /// High-water mark of concurrently admitted edges.
+    pub admitted_peak: u64,
+    /// Total edges the admission ledger allows at once.
+    pub budget_total: u64,
+    /// Fixed power-of-two latency histogram: bucket `i` counts queries
+    /// whose wall time fell in `[2^i, 2^{i+1})` microseconds.
+    pub latency_buckets: Vec<u64>,
+    /// The graphs being served.
+    pub graphs: Vec<CatalogGraphInfo>,
+}
+
+impl ServerStats {
+    /// Upper bound (in microseconds) of the histogram bucket containing
+    /// the `q`-quantile of recorded query latencies (`0.5` = p50,
+    /// `0.99` = p99); 0 when nothing has been recorded.
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        let total: u64 = self.latency_buckets.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &count) in self.latency_buckets.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << self.latency_buckets.len()
+    }
+}
+
 /// Protocol messages.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
@@ -356,6 +592,56 @@ pub enum Message {
     },
     /// Master → node: end the serve loop and exit cleanly.
     Shutdown,
+    /// Client → server (serve mode): run one analytics operation
+    /// against a named catalog graph.
+    Query {
+        /// Client-chosen request id, echoed in the response.
+        id: u32,
+        /// Catalog graph name.
+        graph: String,
+        /// The operation to run.
+        op: QueryOperation,
+        /// Per-query engine knobs.
+        options: QueryOptions,
+    },
+    /// Server → client: a successful query answer. The meaning of the
+    /// scalar fields is per-operation (see the serve-mode wire table in
+    /// ARCHITECTURE.md): `triangles` is the exact count for the MGT
+    /// operations, `value_bits` an `f64` in bits for clustering and
+    /// DOULION (the `k`-truss edge count for `ktruss`), and `aux` the
+    /// transitivity bits / max-`k` / kept-edge count.
+    QueryResult {
+        /// Echoed request id.
+        id: u32,
+        /// Exact triangle count (0 where the operation has none).
+        triangles: u64,
+        /// Primary per-operation value (often `f64::to_bits`).
+        value_bits: u64,
+        /// Secondary per-operation value.
+        aux: u64,
+        /// Server-side wall time of the query in nanoseconds.
+        wall_nanos: u64,
+        /// Per-worker MGT counters of the run (empty for operations
+        /// that do not run the disk engine).
+        workers: Vec<WorkerSummary>,
+        /// Listed triples (`list` only, capped at the request's limit).
+        triples: Vec<(u32, u32, u32)>,
+    },
+    /// Server → client: the query failed with a typed, human-readable
+    /// reason; the server keeps serving.
+    QueryError {
+        /// Echoed request id.
+        id: u32,
+        /// Failure description.
+        detail: String,
+    },
+    /// Client → server: request the aggregate serve-mode counters.
+    StatsRequest,
+    /// Server → client: catalog plus aggregate counters.
+    StatsResult {
+        /// The counters.
+        stats: ServerStats,
+    },
 }
 
 /// PR 3-era `Config` tag: fixed 29-byte worker records, no length
@@ -368,6 +654,13 @@ const TAG_NODE_ERROR: u8 = 4;
 const TAG_CONFIG: u8 = 5;
 const TAG_PROGRESS: u8 = 6;
 const TAG_SHUTDOWN: u8 = 7;
+/// Serve-mode request/response tags (PR 10). They extend the same tag
+/// space — a serve-mode client and a cluster node share one decoder.
+const TAG_QUERY: u8 = 8;
+const TAG_QUERY_RESULT: u8 = 9;
+const TAG_QUERY_ERROR: u8 = 10;
+const TAG_STATS_REQUEST: u8 = 11;
+const TAG_STATS_RESULT: u8 = 12;
 
 impl Message {
     /// Encode into a byte buffer.
@@ -396,25 +689,7 @@ impl Message {
             Message::Results { node, workers } => {
                 b.put_u8(TAG_RESULTS);
                 b.put_u32_le(*node);
-                b.put_u32_le(workers.len() as u32);
-                for w in workers {
-                    b.put_u32_le(w.worker);
-                    for v in [
-                        w.start,
-                        w.end,
-                        w.triangles,
-                        w.iterations,
-                        w.cpu_ops,
-                        w.bytes_read,
-                        w.bytes_written,
-                        w.seeks,
-                        w.io_ops,
-                        w.io_nanos,
-                        w.wall_nanos,
-                    ] {
-                        b.put_u64_le(v);
-                    }
-                }
+                put_summaries(&mut b, workers);
             }
             Message::Triangles { node, triples } => {
                 b.put_u8(TAG_TRIANGLES);
@@ -440,6 +715,72 @@ impl Message {
                 b.put_u8(TAG_SHUTDOWN);
                 // Filler id: every message carries a u32 after the tag.
                 b.put_u32_le(0);
+            }
+            Message::Query {
+                id,
+                graph,
+                op,
+                options,
+            } => {
+                b.put_u8(TAG_QUERY);
+                b.put_u32_le(*id);
+                put_string(&mut b, graph);
+                op.encode(&mut b);
+                options.encode_record(&mut b);
+            }
+            Message::QueryResult {
+                id,
+                triangles,
+                value_bits,
+                aux,
+                wall_nanos,
+                workers,
+                triples,
+            } => {
+                b.put_u8(TAG_QUERY_RESULT);
+                b.put_u32_le(*id);
+                b.put_u64_le(*triangles);
+                b.put_u64_le(*value_bits);
+                b.put_u64_le(*aux);
+                b.put_u64_le(*wall_nanos);
+                put_summaries(&mut b, workers);
+                b.put_u32_le(triples.len() as u32);
+                for &(u, v, w) in triples {
+                    b.put_u32_le(u);
+                    b.put_u32_le(v);
+                    b.put_u32_le(w);
+                }
+            }
+            Message::QueryError { id, detail } => {
+                b.put_u8(TAG_QUERY_ERROR);
+                b.put_u32_le(*id);
+                put_string(&mut b, detail);
+            }
+            Message::StatsRequest => {
+                b.put_u8(TAG_STATS_REQUEST);
+                b.put_u32_le(0);
+            }
+            Message::StatsResult { stats } => {
+                b.put_u8(TAG_STATS_RESULT);
+                b.put_u32_le(0);
+                b.put_u64_le(stats.served);
+                b.put_u64_le(stats.failed);
+                b.put_u32_le(stats.inflight);
+                b.put_u32_le(stats.rejected_graphs);
+                b.put_u64_le(stats.bytes_read);
+                b.put_u64_le(stats.u32s_decoded);
+                b.put_u64_le(stats.admitted_peak);
+                b.put_u64_le(stats.budget_total);
+                b.put_u32_le(stats.latency_buckets.len() as u32);
+                for &count in &stats.latency_buckets {
+                    b.put_u64_le(count);
+                }
+                b.put_u32_le(stats.graphs.len() as u32);
+                for g in &stats.graphs {
+                    put_string(&mut b, &g.name);
+                    b.put_u32_le(g.vertices);
+                    b.put_u64_le(g.m_star);
+                }
             }
         }
         b.freeze()
@@ -491,25 +832,7 @@ impl Message {
                 })
             }
             TAG_RESULTS => {
-                need(&buf, 4)?;
-                let count = buf.get_u32_le() as usize;
-                need(&buf, count * (4 + 11 * 8))?;
-                let workers = (0..count)
-                    .map(|_| WorkerSummary {
-                        worker: buf.get_u32_le(),
-                        start: buf.get_u64_le(),
-                        end: buf.get_u64_le(),
-                        triangles: buf.get_u64_le(),
-                        iterations: buf.get_u64_le(),
-                        cpu_ops: buf.get_u64_le(),
-                        bytes_read: buf.get_u64_le(),
-                        bytes_written: buf.get_u64_le(),
-                        seeks: buf.get_u64_le(),
-                        io_ops: buf.get_u64_le(),
-                        io_nanos: buf.get_u64_le(),
-                        wall_nanos: buf.get_u64_le(),
-                    })
-                    .collect();
+                let workers = get_summaries(&mut buf)?;
                 Ok(Message::Results { node, workers })
             }
             TAG_TRIANGLES => {
@@ -531,6 +854,87 @@ impl Message {
                 Ok(Message::Progress { node, seq })
             }
             TAG_SHUTDOWN => Ok(Message::Shutdown),
+            TAG_QUERY => {
+                let graph = get_string(&mut buf)?;
+                let op = QueryOperation::decode(&mut buf)?;
+                let options = QueryOptions::decode_record(&mut buf)?;
+                Ok(Message::Query {
+                    id: node,
+                    graph,
+                    op,
+                    options,
+                })
+            }
+            TAG_QUERY_RESULT => {
+                need(&buf, 4 * 8)?;
+                let triangles = buf.get_u64_le();
+                let value_bits = buf.get_u64_le();
+                let aux = buf.get_u64_le();
+                let wall_nanos = buf.get_u64_le();
+                let workers = get_summaries(&mut buf)?;
+                need(&buf, 4)?;
+                let count = buf.get_u32_le() as usize;
+                need(&buf, count * 12)?;
+                let triples = (0..count)
+                    .map(|_| (buf.get_u32_le(), buf.get_u32_le(), buf.get_u32_le()))
+                    .collect();
+                Ok(Message::QueryResult {
+                    id: node,
+                    triangles,
+                    value_bits,
+                    aux,
+                    wall_nanos,
+                    workers,
+                    triples,
+                })
+            }
+            TAG_QUERY_ERROR => {
+                let detail = get_string(&mut buf)?;
+                Ok(Message::QueryError { id: node, detail })
+            }
+            TAG_STATS_REQUEST => Ok(Message::StatsRequest),
+            TAG_STATS_RESULT => {
+                need(&buf, 8 + 8 + 4 + 4 + 8 * 4)?;
+                let served = buf.get_u64_le();
+                let failed = buf.get_u64_le();
+                let inflight = buf.get_u32_le();
+                let rejected_graphs = buf.get_u32_le();
+                let bytes_read = buf.get_u64_le();
+                let u32s_decoded = buf.get_u64_le();
+                let admitted_peak = buf.get_u64_le();
+                let budget_total = buf.get_u64_le();
+                need(&buf, 4)?;
+                let buckets = buf.get_u32_le() as usize;
+                need(&buf, buckets * 8)?;
+                let latency_buckets = (0..buckets).map(|_| buf.get_u64_le()).collect();
+                need(&buf, 4)?;
+                let count = buf.get_u32_le() as usize;
+                let graphs = (0..count)
+                    .map(|_| {
+                        let name = get_string(&mut buf)?;
+                        need(&buf, 4 + 8)?;
+                        Ok(CatalogGraphInfo {
+                            name,
+                            vertices: buf.get_u32_le(),
+                            m_star: buf.get_u64_le(),
+                        })
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(Message::StatsResult {
+                    stats: ServerStats {
+                        served,
+                        failed,
+                        inflight,
+                        rejected_graphs,
+                        bytes_read,
+                        u32s_decoded,
+                        admitted_peak,
+                        budget_total,
+                        latency_buckets,
+                        graphs,
+                    },
+                })
+            }
             t => Err(ClusterError::Protocol(format!("unknown tag {t}"))),
         }
     }
@@ -539,6 +943,52 @@ impl Message {
     pub fn wire_size(&self) -> u64 {
         self.encode().len() as u64
     }
+}
+
+/// Encode a `u32` count followed by the fixed 92-byte summary records
+/// (shared by `Results` and `QueryResult`).
+fn put_summaries(b: &mut BytesMut, workers: &[WorkerSummary]) {
+    b.put_u32_le(workers.len() as u32);
+    for w in workers {
+        b.put_u32_le(w.worker);
+        for v in [
+            w.start,
+            w.end,
+            w.triangles,
+            w.iterations,
+            w.cpu_ops,
+            w.bytes_read,
+            w.bytes_written,
+            w.seeks,
+            w.io_ops,
+            w.io_nanos,
+            w.wall_nanos,
+        ] {
+            b.put_u64_le(v);
+        }
+    }
+}
+
+fn get_summaries(buf: &mut Bytes) -> Result<Vec<WorkerSummary>> {
+    need(buf, 4)?;
+    let count = buf.get_u32_le() as usize;
+    need(buf, count * (4 + 11 * 8))?;
+    Ok((0..count)
+        .map(|_| WorkerSummary {
+            worker: buf.get_u32_le(),
+            start: buf.get_u64_le(),
+            end: buf.get_u64_le(),
+            triangles: buf.get_u64_le(),
+            iterations: buf.get_u64_le(),
+            cpu_ops: buf.get_u64_le(),
+            bytes_read: buf.get_u64_le(),
+            bytes_written: buf.get_u64_le(),
+            seeks: buf.get_u64_le(),
+            io_ops: buf.get_u64_le(),
+            io_nanos: buf.get_u64_le(),
+            wall_nanos: buf.get_u64_le(),
+        })
+        .collect())
 }
 
 fn put_string(b: &mut BytesMut, s: &str) {
@@ -1089,6 +1539,164 @@ mod tests {
         let cfg = WorkerConfig::decode_record(&mut buf).unwrap();
         assert_eq!(cfg.codec, Codec::Raw);
         assert_eq!(cfg.read_fault, None);
+    }
+
+    #[test]
+    fn query_round_trips_every_operation() {
+        for op in [
+            QueryOperation::Count,
+            QueryOperation::List { limit: 128 },
+            QueryOperation::Clustering,
+            QueryOperation::KTruss { k: 4 },
+            QueryOperation::Doulion {
+                p_ppm: 500_000,
+                seed: 42,
+                trials: 16,
+            },
+        ] {
+            let msg = Message::Query {
+                id: 7,
+                graph: "rmat-12".into(),
+                op,
+                options: QueryOptions {
+                    cores: 3,
+                    budget_edges: 4096,
+                    scan_pruning: true,
+                    backend: IoBackend::Mmap,
+                    codec: Codec::DeltaVarint,
+                    io_latency_us: 50,
+                },
+            };
+            assert_eq!(Message::decode(msg.encode()).unwrap(), msg, "{}", op.name());
+        }
+    }
+
+    #[test]
+    fn query_result_and_error_round_trip() {
+        let msg = Message::QueryResult {
+            id: 9,
+            triangles: 1140,
+            value_bits: 0.61f64.to_bits(),
+            aux: 0.55f64.to_bits(),
+            wall_nanos: 1_234_567,
+            workers: (0..3).map(sample_summary).collect(),
+            triples: vec![(1, 2, 3), (4, 5, 6)],
+        };
+        assert_eq!(Message::decode(msg.encode()).unwrap(), msg);
+        let msg = Message::QueryError {
+            id: 9,
+            detail: "unknown graph \"orkut\"".into(),
+        };
+        assert_eq!(Message::decode(msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn stats_round_trip() {
+        assert_eq!(
+            Message::decode(Message::StatsRequest.encode()).unwrap(),
+            Message::StatsRequest
+        );
+        let msg = Message::StatsResult {
+            stats: ServerStats {
+                served: 100,
+                failed: 3,
+                inflight: 2,
+                rejected_graphs: 1,
+                bytes_read: 1 << 30,
+                u32s_decoded: 77,
+                admitted_peak: 9000,
+                budget_total: 10_000,
+                latency_buckets: (0..32).map(|i| i as u64).collect(),
+                graphs: vec![
+                    CatalogGraphInfo {
+                        name: "rmat-12".into(),
+                        vertices: 4096,
+                        m_star: 30_000,
+                    },
+                    CatalogGraphInfo {
+                        name: "wheel".into(),
+                        vertices: 21,
+                        m_star: 40,
+                    },
+                ],
+            },
+        };
+        assert_eq!(Message::decode(msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn query_forward_compat_skips_unknown_options_tail() {
+        // A future client appends an option to the length-prefixed
+        // record; today's server reads the fields it knows and skips
+        // the rest — same contract as WorkerConfig records.
+        let mut b = BytesMut::new();
+        b.put_u8(8); // TAG_QUERY
+        b.put_u32_le(5);
+        put_string(&mut b, "g");
+        QueryOperation::KTruss { k: 3 }.encode(&mut b);
+        b.put_u16_le((QueryOptions::WIRE_LEN + 4) as u16);
+        b.put_u32_le(2); // cores
+        b.put_u64_le(512); // budget
+        b.put_u8(0b101); // pruning + mmap
+        b.put_u8(1); // delta-varint
+        b.put_u32_le(0); // latency
+        b.put_slice(b"next"); // the unknown field
+        let decoded = Message::decode(b.freeze()).unwrap();
+        let Message::Query { options, op, .. } = decoded else {
+            panic!("expected Query, got {decoded:?}");
+        };
+        assert_eq!(op, QueryOperation::KTruss { k: 3 });
+        assert_eq!(options.cores, 2);
+        assert_eq!(options.backend, IoBackend::Mmap);
+        assert_eq!(options.codec, Codec::DeltaVarint);
+    }
+
+    #[test]
+    fn unknown_operation_kind_rejected() {
+        let mut b = BytesMut::new();
+        b.put_u8(8); // TAG_QUERY
+        b.put_u32_le(0);
+        put_string(&mut b, "g");
+        b.put_u8(99); // unassigned kind
+        b.put_u32_le(0);
+        b.put_u64_le(0);
+        b.put_u32_le(0);
+        QueryOptions::default().encode_record(&mut b);
+        let err = Message::decode(b.freeze()).unwrap_err();
+        assert!(err.to_string().contains("operation kind"), "{err}");
+    }
+
+    #[test]
+    fn truncated_query_result_rejected() {
+        let msg = Message::QueryResult {
+            id: 1,
+            triangles: 5,
+            value_bits: 0,
+            aux: 0,
+            wall_nanos: 10,
+            workers: vec![sample_summary(0)],
+            triples: vec![(1, 2, 3)],
+        };
+        let enc = msg.encode();
+        for cut in [3usize, 20, enc.len() - 5] {
+            assert!(Message::decode(enc.slice(0..cut)).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn stats_quantiles_come_from_the_histogram() {
+        let mut stats = ServerStats {
+            latency_buckets: vec![0; 32],
+            ..Default::default()
+        };
+        assert_eq!(stats.quantile_micros(0.5), 0, "empty histogram");
+        // 90 queries in [2^7, 2^8) µs, 10 in [2^10, 2^11) µs.
+        stats.latency_buckets[7] = 90;
+        stats.latency_buckets[10] = 10;
+        assert_eq!(stats.quantile_micros(0.50), 1 << 8);
+        assert_eq!(stats.quantile_micros(0.90), 1 << 8);
+        assert_eq!(stats.quantile_micros(0.99), 1 << 11);
+        assert_eq!(stats.quantile_micros(1.0), 1 << 11);
     }
 
     #[test]

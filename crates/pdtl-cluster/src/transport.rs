@@ -42,10 +42,19 @@ pub trait Transport: Send + Sync {
 
 fn charge(traffic: &NetTraffic, msg: &Message, bytes: u64) {
     match msg {
-        Message::Config { .. } => traffic.add_config(bytes),
-        Message::Results { .. } | Message::NodeError { .. } => traffic.add_result(bytes),
+        // Serve-mode queries are the configuration of a dispatch, and
+        // their answers are results — the same Θ-classes as the cluster
+        // protocol, so stats stay comparable across both modes.
+        Message::Config { .. } | Message::Query { .. } => traffic.add_config(bytes),
+        Message::Results { .. }
+        | Message::NodeError { .. }
+        | Message::QueryResult { .. }
+        | Message::QueryError { .. } => traffic.add_result(bytes),
         Message::Triangles { .. } => traffic.add_triangles(bytes),
-        Message::Progress { .. } | Message::Shutdown => traffic.add_control(bytes),
+        Message::Progress { .. }
+        | Message::Shutdown
+        | Message::StatsRequest
+        | Message::StatsResult { .. } => traffic.add_control(bytes),
     }
 }
 

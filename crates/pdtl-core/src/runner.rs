@@ -121,21 +121,60 @@ impl LocalRunner {
             &master_stats,
         )?;
 
+        let (mut report, sinks) = self.run_oriented_with_sinks(&og, make_sink)?;
+        report.orientation = orientation;
+        report.wall = wall_start.elapsed();
+        Ok((report, sinks))
+    }
+
+    /// Phases 2–3 against an *already-oriented* graph: load balancing
+    /// plus one MGT worker per core, skipping the orientation phase.
+    ///
+    /// This is the resident-process entry point (`pdtl serve` runs it
+    /// once per query against a catalog graph oriented at registration):
+    /// it holds no scratch state, touches only the oriented files
+    /// read-only, and every failure returns as a typed error rather
+    /// than tearing the process down. The returned report's
+    /// `orientation` phase is zeroed — orientation was paid by whoever
+    /// produced `og`.
+    ///
+    /// When `og` was reopened from disk (no recorded original degrees),
+    /// an `InDegree` balance request degrades to `EqualEdges` rather
+    /// than failing: the split is an optimization, not a correctness
+    /// requirement.
+    pub fn run_oriented_with_sinks<S, F>(
+        &self,
+        og: &crate::orient::OrientedGraph,
+        make_sink: F,
+    ) -> Result<(RunReport, Vec<S>)>
+    where
+        S: crate::sink::TriangleSink + Send,
+        F: Fn() -> S,
+    {
+        let wall_start = Instant::now();
+
         // Phase 2: load balancing (Section IV-B1).
-        let in_degrees = og
-            .in_degrees()
-            .expect("orient_to_disk always records original degrees");
-        let (ranges, balancing) = split_ranges(
-            &og.offsets,
-            &in_degrees,
-            self.config.cores,
-            self.config.balance,
-        );
+        let (ranges, balancing) = match (self.config.balance, og.in_degrees()) {
+            (BalanceStrategy::InDegree, Some(in_degrees)) => split_ranges(
+                &og.offsets,
+                &in_degrees,
+                self.config.cores,
+                BalanceStrategy::InDegree,
+            ),
+            _ => {
+                let zeros = vec![0u32; og.num_vertices() as usize];
+                split_ranges(
+                    &og.offsets,
+                    &zeros,
+                    self.config.cores,
+                    BalanceStrategy::EqualEdges,
+                )
+            }
+        };
 
         // Phase 3: one MGT worker per core.
         let budget = self.config.budget;
         let mgt_opts = self.config.mgt;
-        let og_ref = &og;
         let mut results: Vec<Option<Result<(crate::metrics::WorkerReport, S)>>> =
             (0..ranges.len()).map(|_| None).collect();
         std::thread::scope(|scope| {
@@ -144,7 +183,7 @@ impl LocalRunner {
                 let mut sink = make_sink();
                 handles.push(scope.spawn(move || {
                     let stats = IoStats::new();
-                    mgt_count_range_opt(og_ref, range, budget, &mut sink, stats, mgt_opts).map(
+                    mgt_count_range_opt(og, range, budget, &mut sink, stats, mgt_opts).map(
                         |mut r| {
                             r.worker = i;
                             (r, sink)
@@ -173,7 +212,7 @@ impl LocalRunner {
         Ok((
             RunReport {
                 triangles,
-                orientation,
+                orientation: crate::metrics::PhaseReport::default(),
                 balancing,
                 workers,
                 wall: wall_start.elapsed(),
@@ -189,12 +228,29 @@ pub fn count_triangles(g: &Graph) -> Result<RunReport> {
     count_triangles_with(g, LocalConfig::default())
 }
 
-/// Removes its directory on drop, so every exit path — including the
-/// `?` returns between creation and success — cleans up the scratch
-/// space.
-struct TempDirGuard(PathBuf);
+/// A scratch directory that removes itself on drop, so every exit path
+/// — including the `?` returns between creation and success — cleans up
+/// the scratch space. Long-lived processes (the CLI loop, `pdtl serve`)
+/// lean on this so a *failed* run never accumulates temp state.
+#[derive(Debug)]
+pub struct ScratchDir(PathBuf);
 
-impl Drop for TempDirGuard {
+impl ScratchDir {
+    /// Create `path` (and parents) and adopt it: the directory is
+    /// removed when the guard drops.
+    pub fn create(path: impl Into<PathBuf>) -> Result<Self> {
+        let path = path.into();
+        std::fs::create_dir_all(&path).map_err(|e| pdtl_io::IoError::os("mkdir", &path, e))?;
+        Ok(Self(path))
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for ScratchDir {
     fn drop(&mut self) {
         let _ = std::fs::remove_dir_all(&self.0);
     }
@@ -235,11 +291,10 @@ pub fn count_triangles_with(g: &Graph, config: LocalConfig) -> Result<RunReport>
     static UNIQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
     let id = UNIQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let dir: PathBuf = std::env::temp_dir().join(format!("pdtl-count-{}-{id}", std::process::id()));
-    std::fs::create_dir_all(&dir).map_err(|e| pdtl_io::IoError::os("mkdir", &dir, e))?;
-    let _cleanup = TempDirGuard(dir.clone());
+    let scratch = ScratchDir::create(&dir)?;
     let stats = IoStats::new();
-    let input = DiskGraph::write(g, dir.join("input"), &stats)?;
-    let report = LocalRunner::new(config)?.run(&input, &dir)?;
+    let input = DiskGraph::write(g, scratch.path().join("input"), &stats)?;
+    let report = LocalRunner::new(config)?.run(&input, scratch.path())?;
     Ok(report)
 }
 
@@ -327,6 +382,51 @@ mod tests {
         canon.sort_unstable();
         canon.dedup();
         assert_eq!(canon.len(), 19, "no duplicates across workers");
+    }
+
+    #[test]
+    fn run_oriented_matches_full_pipeline() {
+        // The resident-process entry: orienting once and running
+        // `run_oriented_with_sinks` repeatedly yields the same count as
+        // the one-shot path, including on a *reopened* graph whose
+        // original degrees are gone (InDegree degrades to EqualEdges).
+        let g = rmat(8, 24).unwrap();
+        let expected = triangle_count(&g);
+        let dir = tmpdir("oriented-entry");
+        let stats = IoStats::new();
+        let input = DiskGraph::write(&g, dir.join("g"), &stats).unwrap();
+        let (og, _) =
+            orient_to_disk_with(&input, dir.join("oriented"), 2, Default::default(), &stats)
+                .unwrap();
+        let runner = LocalRunner::new(LocalConfig {
+            cores: 3,
+            budget: MemoryBudget::edges(512),
+            ..Default::default()
+        })
+        .unwrap();
+        for _ in 0..3 {
+            let (report, _) = runner.run_oriented_with_sinks(&og, || CountSink).unwrap();
+            assert_eq!(report.triangles, expected);
+            assert_eq!(report.workers.len(), 3);
+        }
+        // Reopen from disk: orig_degrees is None, the split degrades.
+        let reopened = crate::orient::OrientedGraph::open(og.disk.base(), &stats).unwrap();
+        assert!(reopened.in_degrees().is_none());
+        let (report, _) = runner
+            .run_oriented_with_sinks(&reopened, || CountSink)
+            .unwrap();
+        assert_eq!(report.triangles, expected);
+    }
+
+    #[test]
+    fn scratch_dir_removes_itself_on_drop() {
+        let dir = std::env::temp_dir().join(format!("pdtl-scratch-test-{}", std::process::id()));
+        {
+            let s = ScratchDir::create(&dir).unwrap();
+            std::fs::write(s.path().join("junk"), b"x").unwrap();
+            assert!(dir.exists());
+        }
+        assert!(!dir.exists(), "guard must remove the directory");
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub mod timer;
 pub mod uring;
 
 pub use backend::{IoBackend, BACKEND_ENV};
-pub use budget::MemoryBudget;
+pub use budget::{BudgetLease, BudgetLedger, MemoryBudget};
 pub use checksum::{crc32c, crc32c_of_file, Crc32c};
 pub use codec::{Codec, VarintAdjWriter, VarintIndex, VarintSource, CODEC_ENV};
 pub use cost::{CostModel, ModeledTime};

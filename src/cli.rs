@@ -22,16 +22,27 @@
 //! * `verify <base>` — full integrity verification: open the graph
 //!   (structural + quick manifest checks) and digest every file
 //!   against the `.mft` manifest. Graphs written before the integrity
-//!   layer (no manifest) pass with a note.
+//!   layer (no manifest) pass with a note;
+//! * `serve <dir> [--addr host:port] [--workers n] [--cores p]
+//!   [--memory edges]` — resident daemon: verify + orient every graph
+//!   under `<dir>` once, then answer concurrent queries until a client
+//!   sends shutdown;
+//! * `query <addr> stats|shutdown` or `query <addr> <graph>
+//!   <count|list|clustering|ktruss|doulion> [--k k] [--p f] [--seed s]
+//!   [--trials t] [--limit l] [--cores p] [--memory edges]
+//!   [--backend b] [--codec c]` — one serve-mode request.
 //!
 //! Parsing is kept dependency-free and fully unit-tested; the binary is
 //! a thin wrapper around [`run`].
 
 use std::path::{Path, PathBuf};
 
-use pdtl_cluster::{ClusterConfig, ClusterRunner, FailurePolicy, FaultPlan, TransportKind};
+use pdtl_cluster::{
+    Catalog, ClusterConfig, ClusterRunner, FailurePolicy, FaultPlan, QueryOperation, QueryOptions,
+    ServeClient, ServeConfig, Server, TransportKind,
+};
 use pdtl_core::mgt::MgtOptions;
-use pdtl_core::{BalanceStrategy, LocalConfig, LocalRunner};
+use pdtl_core::{BalanceStrategy, LocalConfig, LocalRunner, ScratchDir};
 use pdtl_graph::datasets::Dataset;
 use pdtl_graph::{DiskGraph, GraphStats};
 use pdtl_io::{Codec, IoBackend, IoStats, MemoryBudget};
@@ -117,10 +128,49 @@ pub enum Command {
         /// Input base path.
         base: PathBuf,
     },
+    /// Resident graph-catalog daemon.
+    Serve {
+        /// Directory of PDTL graph bases to serve.
+        dir: PathBuf,
+        /// Bind address.
+        addr: String,
+        /// Worker-pool size.
+        workers: usize,
+        /// Default cores per query.
+        cores: usize,
+        /// Admission budget in edges across all in-flight queries.
+        memory: usize,
+    },
+    /// One client request against a running daemon.
+    Query {
+        /// Daemon address (`host:port`).
+        addr: String,
+        /// What to ask.
+        request: QueryRequest,
+    },
+}
+
+/// The request a `pdtl query` invocation sends.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryRequest {
+    /// Fetch and print the daemon's aggregate counters.
+    Stats,
+    /// Ask the daemon to drain and exit.
+    Shutdown,
+    /// Run one analytics operation against a catalog graph.
+    Run {
+        /// Catalog graph name.
+        graph: String,
+        /// Operation to run.
+        op: QueryOperation,
+        /// Per-query engine knobs.
+        options: QueryOptions,
+    },
 }
 
 /// Usage text.
-pub const USAGE: &str = "usage: pdtl <gen|import|export|stats|count|cluster|list|verify> ... \
+pub const USAGE: &str = "usage: pdtl \
+<gen|import|export|stats|count|cluster|list|verify|serve|query> ... \
 (see crate docs for flags)";
 
 /// Parse an argument vector (without the program name).
@@ -229,6 +279,79 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "verify" => Ok(Command::Verify {
             base: need(1, "input base")?,
         }),
+        "serve" => Ok(Command::Serve {
+            dir: need(1, "catalog directory")?,
+            addr: flags
+                .get("addr")
+                .cloned()
+                .unwrap_or_else(|| "127.0.0.1:0".into()),
+            workers: get_usize(&flags, "workers", 4)?,
+            cores: get_usize(&flags, "cores", 2)?,
+            memory: get_usize(&flags, "memory", 1 << 22)?,
+        }),
+        "query" => {
+            let addr = pos
+                .get(1)
+                .ok_or("query: missing daemon address".to_string())?
+                .to_string();
+            let sub = pos
+                .get(2)
+                .ok_or("query: missing <stats|shutdown|graph>".to_string())?
+                .as_str();
+            let request = match sub {
+                "stats" => QueryRequest::Stats,
+                "shutdown" => QueryRequest::Shutdown,
+                graph => {
+                    let opname = pos
+                        .get(3)
+                        .ok_or("query: missing operation".to_string())?
+                        .as_str();
+                    let op = match opname {
+                        "count" => QueryOperation::Count,
+                        "list" => QueryOperation::List {
+                            limit: get_usize(&flags, "limit", 1000)? as u32,
+                        },
+                        "clustering" => QueryOperation::Clustering,
+                        "ktruss" => QueryOperation::KTruss {
+                            k: get_usize(&flags, "k", 3)? as u32,
+                        },
+                        "doulion" => {
+                            let p: f64 = match flags.get("p") {
+                                None => 0.5,
+                                Some(v) => v.parse().map_err(|_| format!("bad --p: {v:?}"))?,
+                            };
+                            if !(0.0..=1.0).contains(&p) {
+                                return Err(format!("bad --p: {p} (want 0..=1)"));
+                            }
+                            QueryOperation::Doulion {
+                                p_ppm: (p * 1_000_000.0).round() as u32,
+                                seed: get_usize(&flags, "seed", 42)? as u64,
+                                trials: get_usize(&flags, "trials", 8)? as u32,
+                            }
+                        }
+                        other => {
+                            return Err(format!(
+                                "unknown operation {other:?} \
+                                 (count|list|clustering|ktruss|doulion)"
+                            ))
+                        }
+                    };
+                    let options = QueryOptions {
+                        cores: get_usize(&flags, "cores", 0)? as u32,
+                        budget_edges: get_usize(&flags, "memory", 1 << 20)? as u64,
+                        backend: get_backend(&flags)?.unwrap_or_else(IoBackend::default_from_env),
+                        codec: get_codec(&flags)?.unwrap_or_else(Codec::default_from_env),
+                        ..Default::default()
+                    };
+                    QueryRequest::Run {
+                        graph: graph.to_string(),
+                        op,
+                        options,
+                    }
+                }
+            };
+            Ok(Command::Query { addr, request })
+        }
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
     }
 }
@@ -344,9 +467,10 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String> {
                 mgt,
             })
             .map_err(|e| fail(&e))?;
-            let dir = work_dir(&base, "count");
-            let report = runner.run(&dg, &dir).map_err(|e| fail(&e))?;
-            let _ = std::fs::remove_dir_all(&dir);
+            // Scratch cleanup must also run when `run` fails, or every
+            // failed invocation leaks a work dir in /tmp.
+            let scratch = ScratchDir::create(work_dir(&base, "count")).map_err(|e| fail(&e))?;
+            let report = runner.run(&dg, scratch.path()).map_err(|e| fail(&e))?;
             writeln!(
                 out,
                 "triangles: {}\nwall: {:?} (orientation {:?}, calc {:?})",
@@ -400,9 +524,8 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String> {
                 ..Default::default()
             })
             .map_err(|e| fail(&e))?;
-            let dir = work_dir(&base, "cluster");
-            let report = runner.run(&dg, &dir).map_err(|e| fail(&e))?;
-            let _ = std::fs::remove_dir_all(&dir);
+            let scratch = ScratchDir::create(work_dir(&base, "cluster")).map_err(|e| fail(&e))?;
+            let report = runner.run(&dg, scratch.path()).map_err(|e| fail(&e))?;
             writeln!(
                 out,
                 "triangles: {}\nwall: {:?} (calc {:?}, avg copy {:?})\nnetwork: {} bytes",
@@ -436,9 +559,10 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String> {
                 ..Default::default()
             })
             .map_err(|e| fail(&e))?;
-            let dir = work_dir(&base, "list");
-            let (report, triangles) = runner.run_listing(&dg, &dir).map_err(|e| fail(&e))?;
-            let _ = std::fs::remove_dir_all(&dir);
+            let scratch = ScratchDir::create(work_dir(&base, "list")).map_err(|e| fail(&e))?;
+            let (report, triangles) = runner
+                .run_listing(&dg, scratch.path())
+                .map_err(|e| fail(&e))?;
             let sink_stats = IoStats::new();
             let mut sink =
                 pdtl_core::sink::FileSink::create(&path, sink_stats).map_err(|e| fail(&e))?;
@@ -473,6 +597,135 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String> {
                      the integrity layer; rewrite it to gain digests"
                 )
                 .map_err(|e| fail(&e)),
+            }
+        }
+        Command::Serve {
+            dir,
+            addr,
+            workers,
+            cores,
+            memory,
+        } => {
+            let catalog = Catalog::open(
+                &dir,
+                &work_dir(&dir, "serve"),
+                &[Codec::Raw, Codec::DeltaVarint],
+                cores.max(2),
+            )
+            .map_err(|e| fail(&e))?;
+            for (name, why) in catalog.rejected() {
+                writeln!(out, "rejected {name}: {why}").map_err(|e| fail(&e))?;
+            }
+            let names = catalog.names();
+            let server = Server::spawn(
+                catalog,
+                ServeConfig {
+                    addr,
+                    workers,
+                    default_cores: cores,
+                    admission: MemoryBudget::edges(memory),
+                    ..Default::default()
+                },
+            )
+            .map_err(|e| fail(&e))?;
+            writeln!(
+                out,
+                "serving {} graph(s) [{}] on {}",
+                names.len(),
+                names.join(", "),
+                server.addr()
+            )
+            .map_err(|e| fail(&e))?;
+            out.flush().map_err(|e| fail(&e))?;
+            // Blocks until a client sends shutdown; drains in-flight
+            // queries before returning.
+            let final_stats = server.wait();
+            writeln!(
+                out,
+                "shutdown: {} served, {} failed, p50 {}us, p99 {}us",
+                final_stats.served,
+                final_stats.failed,
+                final_stats.quantile_micros(0.5),
+                final_stats.quantile_micros(0.99)
+            )
+            .map_err(|e| fail(&e))
+        }
+        Command::Query { addr, request } => {
+            let mut client = ServeClient::connect(&addr).map_err(|e| fail(&e))?;
+            match request {
+                QueryRequest::Stats => {
+                    let s = client.stats().map_err(|e| fail(&e))?;
+                    writeln!(
+                        out,
+                        "served: {} ({} failed, {} in flight)\n\
+                         catalog: {} graph(s), {} rejected\n\
+                         io: {} bytes read, {} u32s decoded\n\
+                         admission: peak {} / {} edges\n\
+                         latency: p50 {}us, p99 {}us",
+                        s.served,
+                        s.failed,
+                        s.inflight,
+                        s.graphs.len(),
+                        s.rejected_graphs,
+                        s.bytes_read,
+                        s.u32s_decoded,
+                        s.admitted_peak,
+                        s.budget_total,
+                        s.quantile_micros(0.5),
+                        s.quantile_micros(0.99)
+                    )
+                    .map_err(|e| fail(&e))?;
+                    for g in &s.graphs {
+                        writeln!(
+                            out,
+                            "  {}: {} vertices, {} edges",
+                            g.name, g.vertices, g.m_star
+                        )
+                        .map_err(|e| fail(&e))?;
+                    }
+                    Ok(())
+                }
+                QueryRequest::Shutdown => {
+                    client.shutdown().map_err(|e| fail(&e))?;
+                    writeln!(out, "shutdown requested").map_err(|e| fail(&e))
+                }
+                QueryRequest::Run { graph, op, options } => {
+                    let reply = client.query(&graph, op, options).map_err(|e| fail(&e))?;
+                    match op {
+                        QueryOperation::Count => writeln!(
+                            out,
+                            "triangles: {} (server wall {:?})",
+                            reply.triangles, reply.wall
+                        ),
+                        QueryOperation::List { .. } => writeln!(
+                            out,
+                            "triangles: {} ({} listed, {} returned)",
+                            reply.triangles,
+                            reply.aux,
+                            reply.triples.len()
+                        ),
+                        QueryOperation::Clustering => writeln!(
+                            out,
+                            "triangles: {}\nglobal clustering: {:.6}\ntransitivity: {:.6}",
+                            reply.triangles,
+                            reply.value_f64(),
+                            reply.aux_f64()
+                        ),
+                        QueryOperation::KTruss { k } => writeln!(
+                            out,
+                            "triangles: {}\n{}-truss: {} edges (max k = {})",
+                            reply.triangles, k, reply.value_bits, reply.aux
+                        ),
+                        QueryOperation::Doulion { trials, .. } => writeln!(
+                            out,
+                            "estimate: {:.1} (mean of {} trials, server wall {:?})",
+                            reply.value_f64(),
+                            trials,
+                            reply.wall
+                        ),
+                    }
+                    .map_err(|e| fail(&e))
+                }
             }
         }
     }
@@ -626,6 +879,75 @@ mod tests {
     }
 
     #[test]
+    fn parses_serve_and_query() {
+        let cmd = parse(&args(
+            "serve /tmp/catalog --addr 127.0.0.1:9999 --workers 2",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                dir: "/tmp/catalog".into(),
+                addr: "127.0.0.1:9999".into(),
+                workers: 2,
+                cores: 2,
+                memory: 1 << 22,
+            }
+        );
+        assert!(parse(&args("serve")).is_err());
+
+        assert_eq!(
+            parse(&args("query localhost:1 stats")).unwrap(),
+            Command::Query {
+                addr: "localhost:1".into(),
+                request: QueryRequest::Stats
+            }
+        );
+        assert_eq!(
+            parse(&args("query localhost:1 shutdown")).unwrap(),
+            Command::Query {
+                addr: "localhost:1".into(),
+                request: QueryRequest::Shutdown
+            }
+        );
+        let cmd = parse(&args(
+            "query localhost:1 g ktruss --k 4 --cores 3 --memory 512 --codec delta-varint",
+        ))
+        .unwrap();
+        let Command::Query {
+            request: QueryRequest::Run { graph, op, options },
+            ..
+        } = cmd
+        else {
+            panic!("expected Run");
+        };
+        assert_eq!(graph, "g");
+        assert_eq!(op, QueryOperation::KTruss { k: 4 });
+        assert_eq!(options.cores, 3);
+        assert_eq!(options.budget_edges, 512);
+        assert_eq!(options.codec, Codec::DeltaVarint);
+
+        let cmd = parse(&args("query localhost:1 g doulion --p 0.25 --trials 4")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Query {
+                request: QueryRequest::Run {
+                    op: QueryOperation::Doulion {
+                        p_ppm: 250_000,
+                        trials: 4,
+                        ..
+                    },
+                    ..
+                },
+                ..
+            }
+        ));
+        assert!(parse(&args("query localhost:1 g doulion --p 1.5")).is_err());
+        assert!(parse(&args("query localhost:1 g frobnicate")).is_err());
+        assert!(parse(&args("query localhost:1")).is_err());
+    }
+
+    #[test]
     fn rejects_bad_input() {
         assert!(parse(&args("")).is_err());
         assert!(parse(&args("frobnicate x")).is_err());
@@ -717,6 +1039,123 @@ mod tests {
         run(Command::Verify { base }, &mut out).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("no manifest"), "{text}");
+    }
+
+    /// `Write` target shareable with the thread running the blocking
+    /// `serve` command, so the test can read the bound address out of
+    /// its output while the daemon is still running.
+    #[derive(Clone, Default)]
+    struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl SharedBuf {
+        fn text(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    #[test]
+    fn end_to_end_serve_query_shutdown() {
+        let dir = tmp("serve-catalog");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = Dataset::Rmat(6).build().unwrap();
+        DiskGraph::write(&g, dir.join("rmat6"), &IoStats::new()).unwrap();
+        let expected = pdtl_graph::verify::triangle_count(&g);
+
+        let serve_out = SharedBuf::default();
+        let serve_thread = {
+            let mut out = serve_out.clone();
+            let dir = dir.clone();
+            std::thread::spawn(move || {
+                run(
+                    Command::Serve {
+                        dir,
+                        addr: "127.0.0.1:0".into(),
+                        workers: 2,
+                        cores: 2,
+                        memory: 1 << 22,
+                    },
+                    &mut out,
+                )
+            })
+        };
+        // The daemon prints its ephemeral address once the catalog is
+        // up; poll for it.
+        let addr = loop {
+            let text = serve_out.text();
+            if let Some(rest) = text.split(" on ").nth(1) {
+                if let Some(addr) = rest.split_whitespace().next() {
+                    break addr.to_string();
+                }
+            }
+            assert!(!serve_thread.is_finished(), "serve exited: {}", text);
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        };
+
+        let mut out = Vec::new();
+        run(
+            Command::Query {
+                addr: addr.clone(),
+                request: QueryRequest::Run {
+                    graph: "rmat6".into(),
+                    op: QueryOperation::Count,
+                    options: QueryOptions::default(),
+                },
+            },
+            &mut out,
+        )
+        .unwrap();
+        run(
+            Command::Query {
+                addr: addr.clone(),
+                request: QueryRequest::Stats,
+            },
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains(&format!("triangles: {expected}")), "{text}");
+        assert!(text.contains("served: 1"), "{text}");
+        assert!(text.contains("rmat6"), "{text}");
+
+        // Unknown graphs are typed rejections, not daemon failures.
+        let err = run(
+            Command::Query {
+                addr: addr.clone(),
+                request: QueryRequest::Run {
+                    graph: "nope".into(),
+                    op: QueryOperation::Count,
+                    options: QueryOptions::default(),
+                },
+            },
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown graph"), "{err}");
+
+        let mut out = Vec::new();
+        run(
+            Command::Query {
+                addr,
+                request: QueryRequest::Shutdown,
+            },
+            &mut out,
+        )
+        .unwrap();
+        serve_thread.join().unwrap().unwrap();
+        let text = serve_out.text();
+        assert!(text.contains("shutdown: 1 served, 1 failed"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
